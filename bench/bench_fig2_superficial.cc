@@ -1,0 +1,33 @@
+// Figure 2 — the superficial dependency structure of the 1973 Multics
+// supervisor: six large modules, almost linear, with the one obvious loop
+// between processor multiplexing and the virtual memory.
+#include <cstdio>
+
+#include "src/baseline/supervisor.h"
+
+int main() {
+  using namespace mks;
+  const DependencyGraph g = MonolithicSupervisor::SuperficialStructure();
+
+  std::printf("=== Figure 2: Superficial Dependency Structure in Multics ===\n\n");
+  std::printf("%s\n", g.ToText().c_str());
+
+  const auto loops = g.Loops();
+  std::printf("modules: %zu, declared edges: %zu, loops: %zu\n", g.module_count(),
+              g.edge_count(), loops.size());
+  for (const auto& scc : loops) {
+    std::printf("  loop:");
+    for (ModuleId m : scc) {
+      std::printf(" %s", g.name(m).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper: \"The obvious exception to a linear structure is the circular\n"
+      "dependency of the processor multiplexing facilities and the virtual\n"
+      "memory mechanism.\"  -> expected exactly 1 loop: %s\n",
+      loops.size() == 1 ? "REPRODUCED" : "MISMATCH");
+
+  std::printf("\nDOT rendering:\n%s\n", g.ToDot("figure2_superficial").c_str());
+  return loops.size() == 1 ? 0 : 1;
+}

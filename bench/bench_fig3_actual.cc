@@ -1,0 +1,84 @@
+// Figure 3 — the ACTUAL dependency structure of the 1973 supervisor, once
+// maps, programs, address spaces, and the exception paths (quota walk,
+// interpretive retranslation, full-pack handling) are taken into account.
+// The bench prints both the declared structure and the structure OBSERVED at
+// runtime by driving the monolith through the loop-forming paths.
+#include <cstdio>
+
+#include "src/baseline/supervisor.h"
+
+int main() {
+  using namespace mks;
+
+  std::printf("=== Figure 3: Actual Dependency Structure in Multics ===\n\n");
+  const DependencyGraph declared = MonolithicSupervisor::ActualStructure();
+  std::printf("%s\n", declared.ToText().c_str());
+  size_t declared_largest = 0;
+  for (const auto& scc : declared.Loops()) {
+    declared_largest = std::max(declared_largest, scc.size());
+    std::printf("declared loop (%zu modules):", scc.size());
+    for (ModuleId m : scc) {
+      std::printf(" %s", declared.name(m).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Drive the monolith through page faults, quota walks, a full-pack move,
+  // and one-level process dispatch, recording actual inter-module calls.
+  BaselineConfig config;
+  config.pack_count = 2;
+  config.records_per_pack = 28;
+  config.retranslate_conflict_rate = 0.05;
+  MonolithicSupervisor sup{config};
+  if (!sup.Boot().ok()) {
+    std::printf("boot failed\n");
+    return 1;
+  }
+  (void)sup.SetQuota(">", 1000);
+  auto a = sup.CreatePath(">udd>p>a");
+  auto b = sup.CreatePath(">udd>p>b");
+  if (!a.ok() || !b.ok()) {
+    return 1;
+  }
+  Status st = Status::Ok();
+  for (uint32_t p = 0; p < 24 && st.ok(); ++p) {
+    st = sup.Write(*a, p * kPageWords, 1);
+    if (st.ok()) {
+      st = sup.Write(*b, p * kPageWords, 1);
+    }
+  }
+  auto pid = sup.CreateProcess();
+  if (pid.ok()) {
+    std::vector<MonolithicSupervisor::BaselineOp> program;
+    MonolithicSupervisor::BaselineOp op;
+    op.kind = MonolithicSupervisor::BaselineOp::Kind::kRead;
+    op.uid = *a;
+    program.push_back(op);
+    (void)sup.SetProgram(*pid, std::move(program));
+    (void)sup.RunUntilQuiescent(1000);
+  }
+
+  const DependencyGraph& observed = sup.tracker().observed();
+  std::printf("\nOBSERVED runtime call structure:\n%s\n", observed.ToText().c_str());
+  size_t observed_largest = 0;
+  for (const auto& scc : observed.Loops()) {
+    observed_largest = std::max(observed_largest, scc.size());
+    std::printf("observed loop (%zu modules):", scc.size());
+    for (ModuleId m : scc) {
+      std::printf(" %s", observed.name(m).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nfull-pack moves exercised: %llu, quota walk hops: %llu, retranslations: %llu\n",
+              (unsigned long long)sup.metrics().Get("baseline.full_pack_moves"),
+              (unsigned long long)sup.metrics().Get("baseline.quota_walk_hops"),
+              (unsigned long long)sup.metrics().Get("baseline.retranslations"));
+  std::printf(
+      "\npaper: \"the simple, almost linear structure ... becomes the much less\n"
+      "simple structure illustrated in Figure 3.\"\n"
+      "largest declared SCC: %zu modules; largest observed SCC: %zu modules -> %s\n",
+      declared_largest, observed_largest,
+      (declared_largest >= 5 && observed_largest >= 2) ? "REPRODUCED" : "MISMATCH");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 4 — the new design: a loop-free lattice of object managers, with
+// program/address-space dependencies on the core segment manager and
+// interpreter dependencies on the virtual processor manager.  The bench
+// prints the declared lattice, its layer assignment (the verification
+// order), and then boots the kernel and drives every major exception path to
+// verify the OBSERVED call structure stays inside the declared lattice.
+#include <cstdio>
+
+#include "src/fs/path_walker.h"
+#include "src/kernel/kernel.h"
+
+int main() {
+  using namespace mks;
+
+  std::printf("=== Figure 4: The New Design (loop-free object managers) ===\n\n");
+  const DependencyGraph lattice = Kernel::DeclaredLattice();
+  std::printf("%s\n", lattice.ToText().c_str());
+  std::printf("loop-free: %s\n\n", lattice.IsLoopFree() ? "YES" : "NO");
+
+  auto layers = lattice.Layers();
+  std::printf("verification order (dependencies first):\n");
+  for (ModuleId m : lattice.VerificationOrder()) {
+    std::printf("  layer %d: %s\n", layers[m], lattice.name(m).c_str());
+  }
+
+  // Exercise the kernel: paging under pressure, quota exceptions, a
+  // full-pack relocation with the upward signal, two-level scheduling.
+  KernelConfig config;
+  config.memory_frames = 64;
+  config.ast_slots = 12;
+  config.pack_count = 2;
+  config.records_per_pack = 28;
+  Kernel kernel{config};
+  if (!kernel.Boot().ok()) {
+    std::printf("boot failed\n");
+    return 1;
+  }
+  Subject user{Principal{"Bench", "Proj"}, Label::SystemLow(), 4};
+  auto pid = kernel.processes().CreateProcess(user);
+  if (!pid.ok()) {
+    return 1;
+  }
+  ProcContext* ctx = kernel.processes().Context(*pid);
+  PathWalker walker(&kernel.gates());
+  Acl acl;
+  acl.Add(AclEntry{"*", "*", AccessModes::RWE()});
+  auto a = walker.CreateSegment(*ctx, ">udd>p>a", acl, Label::SystemLow());
+  auto b = walker.CreateSegment(*ctx, ">udd>p>b", acl, Label::SystemLow());
+  if (!a.ok() || !b.ok()) {
+    return 1;
+  }
+  auto sa = kernel.gates().Initiate(*ctx, *a);
+  auto sb = kernel.gates().Initiate(*ctx, *b);
+  Status st = Status::Ok();
+  for (uint32_t p = 0; p < 24 && st.ok(); ++p) {
+    st = kernel.gates().Write(*ctx, *sa, p * kPageWords, 1);
+    if (st.ok()) {
+      st = kernel.gates().Write(*ctx, *sb, p * kPageWords, 1);
+    }
+  }
+  std::vector<UserOp> program;
+  for (uint32_t p = 0; p < 8; ++p) {
+    program.push_back(UserOp::Read(*sa, p * kPageWords));
+  }
+  (void)kernel.processes().SetProgram(*pid, std::move(program));
+  (void)kernel.processes().RunUntilQuiescent(100000);
+
+  const DependencyGraph& observed = kernel.tracker().observed();
+  std::printf("\nOBSERVED runtime call structure:\n%s\n", observed.ToText().c_str());
+  std::printf("observed structure loop-free: %s\n",
+              observed.IsLoopFree() ? "YES" : "NO");
+  const auto undeclared = kernel.tracker().UndeclaredEdges(lattice);
+  std::printf("observed edges outside the declared lattice: %zu\n", undeclared.size());
+  for (const auto& e : undeclared) {
+    std::printf("  UNDECLARED: %s\n", e.c_str());
+  }
+  std::printf("full-pack moves: %llu, upward signals: %llu\n",
+              (unsigned long long)kernel.metrics().Get("ksm.full_pack_moves"),
+              (unsigned long long)kernel.metrics().Get("gates.upward_signals"));
+
+  const bool reproduced =
+      lattice.IsLoopFree() && observed.IsLoopFree() && undeclared.empty();
+  std::printf(
+      "\npaper: \"it was possible to design a loop-free structure of object\n"
+      "managers that implement the complete functionality required in the\n"
+      "Multics kernel.\" -> %s\n",
+      reproduced ? "REPRODUCED" : "MISMATCH");
+  return reproduced ? 0 : 1;
+}

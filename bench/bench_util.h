@@ -1,0 +1,44 @@
+// Shared helpers for benchmark binaries (no gtest dependency).
+#ifndef MKS_BENCH_BENCH_UTIL_H_
+#define MKS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/fs/path_walker.h"
+#include "src/kernel/kernel.h"
+
+namespace mks {
+
+inline Acl BenchWorldAcl() {
+  Acl acl;
+  acl.Add(AclEntry{"*", "*", AccessModes::RWE()});
+  return acl;
+}
+
+// A booted kernel plus one user process; aborts the bench on failure.
+struct BenchKernel {
+  explicit BenchKernel(KernelConfig config = KernelConfig{}) : kernel(config) {
+    if (!kernel.Boot().ok()) {
+      std::fprintf(stderr, "kernel boot failed\n");
+      std::abort();
+    }
+    Subject user{Principal{"Bench", "Proj"}, Label::SystemLow(), 4};
+    auto created = kernel.processes().CreateProcess(user);
+    if (!created.ok()) {
+      std::fprintf(stderr, "process creation failed\n");
+      std::abort();
+    }
+    pid = *created;
+    ctx = kernel.processes().Context(pid);
+  }
+
+  Kernel kernel;
+  ProcessId pid{};
+  ProcContext* ctx = nullptr;
+};
+
+}  // namespace mks
+
+#endif  // MKS_BENCH_BENCH_UTIL_H_

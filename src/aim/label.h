@@ -1,0 +1,66 @@
+// Access Isolation Mechanism (AIM) labels: the MITRE model of sensitivity
+// levels and compartments [Bell and LaPadula, 1973] as fielded in Multics.
+//
+// Every segment, directory, and process carries a Label.  Information may
+// flow from object to subject only when the subject's label dominates the
+// object's (simple security), and from subject to object only when the
+// object's label dominates the subject's (the *-property).  Historical AIM
+// provided 8 sensitivity levels and 18 compartment categories; we use the
+// same sizes.
+#ifndef MKS_AIM_LABEL_H_
+#define MKS_AIM_LABEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mks {
+
+class Label {
+ public:
+  static constexpr uint8_t kMaxLevel = 7;
+  static constexpr int kCompartments = 18;
+  static constexpr uint32_t kCompartmentMask = (1u << kCompartments) - 1;
+
+  constexpr Label() = default;
+  constexpr Label(uint8_t level, uint32_t compartments)
+      : level_(level > kMaxLevel ? kMaxLevel : level),
+        compartments_(compartments & kCompartmentMask) {}
+
+  static constexpr Label SystemLow() { return Label(0, 0); }
+  static constexpr Label SystemHigh() { return Label(kMaxLevel, kCompartmentMask); }
+
+  uint8_t level() const { return level_; }
+  uint32_t compartments() const { return compartments_; }
+
+  // a.Dominates(b): a's level >= b's and a's compartment set contains b's.
+  bool Dominates(const Label& other) const {
+    return level_ >= other.level_ &&
+           (compartments_ & other.compartments_) == other.compartments_;
+  }
+
+  bool Comparable(const Label& other) const {
+    return Dominates(other) || other.Dominates(*this);
+  }
+
+  static Label Lub(const Label& a, const Label& b) {
+    return Label(a.level_ > b.level_ ? a.level_ : b.level_, a.compartments_ | b.compartments_);
+  }
+  static Label Glb(const Label& a, const Label& b) {
+    return Label(a.level_ < b.level_ ? a.level_ : b.level_, a.compartments_ & b.compartments_);
+  }
+
+  friend bool operator==(const Label& a, const Label& b) {
+    return a.level_ == b.level_ && a.compartments_ == b.compartments_;
+  }
+
+  // "L3{0,5,17}" rendering.
+  std::string ToString() const;
+
+ private:
+  uint8_t level_ = 0;
+  uint32_t compartments_ = 0;
+};
+
+}  // namespace mks
+
+#endif  // MKS_AIM_LABEL_H_

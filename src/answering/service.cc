@@ -1,0 +1,130 @@
+#include "src/answering/service.h"
+
+#include <sstream>
+
+namespace mks {
+
+AnsweringService::AnsweringService(Kernel* kernel, Authenticator* auth, ServiceDomain domain)
+    : kernel_(kernel), auth_(auth), domain_(domain), walker_(&kernel->gates()) {}
+
+void AnsweringService::ChargeDialogStep(int gate_calls) const {
+  CostModel& cost = kernel_->ctx().cost;
+  // The same logical work either way: parsing the dialog, consulting the
+  // user registry, writing the log.  The user-domain version pays gate
+  // crossings and the structured-code factor; the in-kernel version ran as
+  // trusted optimized code with direct access to kernel tables.
+  constexpr Cycles kDialogWork = 220;
+  if (domain_ == ServiceDomain::kUserDomain) {
+    cost.Charge(CodeStyle::kStructured, kDialogWork / 2);
+    cost.Charge(CodeStyle::kOptimized, kDialogWork / 2);
+    cost.Charge(CodeStyle::kOptimized, static_cast<Cycles>(gate_calls) * Costs::kGateCall);
+  } else {
+    cost.Charge(CodeStyle::kOptimized, kDialogWork);
+  }
+}
+
+Status AnsweringService::EnsureDaemon() {
+  if (daemon_ready_) {
+    return Status::Ok();
+  }
+  Subject daemon{Principal{"Answering", "SysDaemon"}, Label::SystemLow(), /*ring=*/4};
+  MKS_ASSIGN_OR_RETURN(ProcessId pid, kernel_->processes().CreateProcess(daemon));
+  daemon_ctx_ = *kernel_->processes().Context(pid);
+  daemon_ready_ = true;
+  return Status::Ok();
+}
+
+Result<ProcessId> AnsweringService::Login(const Principal& who, const std::string& password,
+                                          Label label) {
+  // The bulk of the answering service — dialog parsing, the user registry,
+  // device tables, the message-of-the-day, the log — is IDENTICAL code in
+  // both configurations; only the privilege-sensitive sliver differs.  That
+  // is why the measured slowdown of the extraction is small.
+  constexpr Cycles kCommonLoginWork = 12000;
+  kernel_->ctx().cost.Charge(CodeStyle::kOptimized, kCommonLoginWork);
+  ChargeDialogStep(/*gate_calls=*/2);  // greeting + registry consultation
+  MKS_RETURN_IF_ERROR(EnsureDaemon());
+  MKS_ASSIGN_OR_RETURN(Subject subject, auth_->Authenticate(who, password, label));
+
+  // Create the user process (a protected operation in both configurations).
+  MKS_ASSIGN_OR_RETURN(ProcessId pid, kernel_->processes().CreateProcess(subject));
+
+  // Ensure the home directory exists: >udd>Project>person.  The skeleton is
+  // system-low and built by the service; the home itself carries the session
+  // label (an upgraded directory when the session runs high).
+  ChargeDialogStep(/*gate_calls=*/3);
+  Acl home_acl;
+  home_acl.Add(AclEntry{who.person, who.project, AccessModes::RWE()});
+  home_acl.Add(AclEntry{"*", "SysDaemon", AccessModes::RW()});
+  auto home = [&]() -> Result<EntryId> {
+    MKS_ASSIGN_OR_RETURN(EntryId project_dir,
+                         walker_.CreateDirectories(daemon_ctx_, ">udd>" + who.project,
+                                                   home_acl, Label::SystemLow()));
+    auto existing = kernel_->gates().Search(daemon_ctx_, project_dir, who.person);
+    if (existing.ok()) {
+      return existing;
+    }
+    return kernel_->gates().CreateDirectory(daemon_ctx_, project_dir, who.person, home_acl,
+                                            subject.label);
+  }();
+  if (!home.ok()) {
+    (void)kernel_->processes().DestroyProcess(pid);
+    return home.status();
+  }
+
+  Session session;
+  session.who = who;
+  session.pid = pid;
+  session.login_time = kernel_->clock().now();
+  session.home = home.ok() ? *home : EntryId{};
+  sessions_.emplace(pid, session);
+  kernel_->metrics().Inc("answering.logins");
+  return pid;
+}
+
+Status AnsweringService::Logout(ProcessId pid) {
+  auto it = sessions_.find(pid);
+  if (it == sessions_.end()) {
+    return Status(Code::kNotFound, "no session");
+  }
+  constexpr Cycles kCommonLogoutWork = 2000;
+  kernel_->ctx().cost.Charge(CodeStyle::kOptimized, kCommonLogoutWork);
+  ChargeDialogStep(/*gate_calls=*/1);
+  const ProcessStats& stats = kernel_->processes().stats(pid);
+  SessionBill& bill = totals_[it->second.who.ToString()];
+  bill.cpu_cycles += stats.cpu_cycles;
+  bill.ops += stats.ops_executed;
+  bill.connect_time += kernel_->clock().now() - it->second.login_time;
+  MKS_RETURN_IF_ERROR(kernel_->processes().DestroyProcess(pid));
+  sessions_.erase(it);
+  kernel_->metrics().Inc("answering.logouts");
+  return Status::Ok();
+}
+
+Result<SessionBill> AnsweringService::BillFor(ProcessId pid) const {
+  auto it = sessions_.find(pid);
+  if (it == sessions_.end()) {
+    return Status(Code::kNotFound, "no session");
+  }
+  const ProcessStats& stats = kernel_->processes().stats(pid);
+  SessionBill bill;
+  bill.cpu_cycles = stats.cpu_cycles;
+  bill.ops = stats.ops_executed;
+  bill.connect_time = kernel_->clock().now() - it->second.login_time;
+  return bill;
+}
+
+std::string AnsweringService::AccountingReport() const {
+  std::ostringstream out;
+  out << "principal                cpu_cycles        ops   connect\n";
+  for (const auto& [who, bill] : totals_) {
+    out << who;
+    for (size_t pad = who.size(); pad < 24; ++pad) {
+      out << ' ';
+    }
+    out << bill.cpu_cycles << "  " << bill.ops << "  " << bill.connect_time << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mks

@@ -1,0 +1,77 @@
+// The answering service: login, session management, and accounting.
+//
+// Historically 10,000 lines of trusted in-kernel code regulating every login
+// and all system accounting; Montgomery's redesign moved all but the
+// authentication sliver (src/answering/auth.h) into an unprivileged
+// user-domain process.  The `domain` knob reproduces both configurations for
+// the performance comparison: the user-domain version performs its work
+// through kernel gates and structured code, which is where the measured
+// "about 3% slower" comes from.
+#ifndef MKS_ANSWERING_SERVICE_H_
+#define MKS_ANSWERING_SERVICE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/answering/auth.h"
+#include "src/fs/path_walker.h"
+
+namespace mks {
+
+enum class ServiceDomain : uint8_t {
+  kInKernel,    // the 1973 configuration: trusted, ring-0, optimized code
+  kUserDomain,  // the redesign: unprivileged, gate calls, structured code
+};
+
+struct SessionBill {
+  Cycles cpu_cycles = 0;
+  uint64_t ops = 0;
+  Cycles connect_time = 0;
+};
+
+class AnsweringService {
+ public:
+  AnsweringService(Kernel* kernel, Authenticator* auth,
+                   ServiceDomain domain = ServiceDomain::kUserDomain);
+
+  // Authenticates, creates the user process, and ensures the home directory
+  // (>udd>Project>person) exists.
+  Result<ProcessId> Login(const Principal& who, const std::string& password, Label label);
+  Status Logout(ProcessId pid);
+
+  Result<SessionBill> BillFor(ProcessId pid) const;
+  // Aggregate accounting report: one line per principal.
+  std::string AccountingReport() const;
+
+  size_t active_sessions() const { return sessions_.size(); }
+  ServiceDomain domain() const { return domain_; }
+
+ private:
+  struct Session {
+    Principal who;
+    ProcessId pid{};
+    Cycles login_time = 0;
+    EntryId home{};
+  };
+
+  // Charges the bookkeeping work of one dialog step in the configured domain.
+  void ChargeDialogStep(int gate_calls) const;
+  // The service's own (system-low) context; home-directory skeletons are
+  // built by the service, not by the (possibly high-labelled) session, which
+  // the *-property would forbid from writing into low directories.
+  Status EnsureDaemon();
+
+  Kernel* kernel_;
+  Authenticator* auth_;
+  ServiceDomain domain_;
+  PathWalker walker_;
+  bool daemon_ready_ = false;
+  ProcContext daemon_ctx_;
+  std::map<ProcessId, Session> sessions_;
+  std::map<std::string, SessionBill> totals_;  // by principal
+};
+
+}  // namespace mks
+
+#endif  // MKS_ANSWERING_SERVICE_H_

@@ -1,0 +1,51 @@
+// Hashing utilities.
+//
+// Fnv1a64 is used for fast non-cryptographic identifiers (e.g. Bratt
+// "mythical" entry identifiers, keyed with a per-boot secret).  Sha256 is a
+// from-scratch implementation used by the answering service to store one-way
+// images of passwords, standing in for the historical Multics one-way
+// password transformation.
+#ifndef MKS_COMMON_HASH_H_
+#define MKS_COMMON_HASH_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mks {
+
+// 64-bit FNV-1a over bytes.
+uint64_t Fnv1a64(std::string_view data, uint64_t seed = 0xcbf29ce484222325ULL);
+
+// FNV-1a folding in a 64-bit value (for composing ids into a hash).
+uint64_t Fnv1a64Mix(uint64_t hash, uint64_t value);
+
+// SHA-256 digest.
+class Sha256 {
+ public:
+  using Digest = std::array<uint8_t, 32>;
+
+  Sha256();
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(std::string_view data);
+  Digest Finish();
+
+  // One-shot convenience.
+  static Digest Hash(std::string_view data);
+  // Lowercase-hex rendering of a digest.
+  static std::string ToHex(const Digest& digest);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t total_len_{0};
+  uint8_t buffer_[64];
+  size_t buffer_len_{0};
+};
+
+}  // namespace mks
+
+#endif  // MKS_COMMON_HASH_H_

@@ -1,0 +1,96 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace mks {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Modulo bias is irrelevant for workload generation.
+  return Next() % bound;
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) { return lo + NextBelow(hi - lo + 1); }
+
+double Rng::NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+uint32_t Rng::NextBurst(double p, uint32_t cap) {
+  uint32_t n = 1;
+  while (n < cap && NextBool(p)) {
+    ++n;
+  }
+  return n;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  // Rejection-inversion sampling (Hörmann & Derflinger).  Falls back to a
+  // uniform draw for degenerate parameters.
+  if (n <= 1 || s <= 0.0) {
+    return n == 0 ? 0 : NextBelow(n);
+  }
+  const double q = s;
+  auto h = [&](double x) {
+    if (q == 1.0) {
+      return std::log(x);
+    }
+    return (std::pow(x, 1.0 - q) - 1.0) / (1.0 - q);
+  };
+  auto h_inv = [&](double x) {
+    if (q == 1.0) {
+      return std::exp(x);
+    }
+    return std::pow(1.0 + x * (1.0 - q), 1.0 / (1.0 - q));
+  };
+  const double h_x0 = h(0.5) - 1.0;
+  const double h_n = h(static_cast<double>(n) + 0.5);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double u = h_x0 + NextDouble() * (h_n - h_x0);
+    const double x = h_inv(u);
+    const uint64_t k = static_cast<uint64_t>(x + 0.5);
+    if (k < 1 || k > n) {
+      continue;
+    }
+    const double ratio =
+        std::pow(static_cast<double>(k), -q) /
+        (h(static_cast<double>(k) + 0.5) - h(static_cast<double>(k) - 0.5));
+    if (NextDouble() * ratio <= std::pow(static_cast<double>(k), -q)) {
+      return k - 1;  // 0-based rank
+    }
+  }
+  return NextBelow(n);
+}
+
+}  // namespace mks

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All simulator randomness flows through Rng so that every experiment is
+// reproducible from a seed.  The generator is xoshiro256** seeded through
+// splitmix64, which is more than adequate for workload generation.
+#ifndef MKS_COMMON_RNG_H_
+#define MKS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace mks {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform value in [0, bound).  bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform value in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli draw with probability p of true.
+  bool NextBool(double p);
+
+  // Geometric-ish draw used for locality bursts: number of repeats with
+  // continuation probability p, capped at cap.
+  uint32_t NextBurst(double p, uint32_t cap);
+
+  // Zipf-distributed rank in [0, n) with exponent s (s > 0).  Used for
+  // skewed file/page popularity.  O(1) via rejection-inversion.
+  uint64_t NextZipf(uint64_t n, double s);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace mks
+
+#endif  // MKS_COMMON_RNG_H_

@@ -1,0 +1,64 @@
+#include "src/common/status.h"
+
+namespace mks {
+
+std::string_view CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "ok";
+    case Code::kNoAccess:
+      return "no_access";
+    case Code::kRingViolation:
+      return "ring_violation";
+    case Code::kNoEntry:
+      return "no_entry";
+    case Code::kNameDuplication:
+      return "name_duplication";
+    case Code::kNotADirectory:
+      return "not_a_directory";
+    case Code::kNotASegment:
+      return "not_a_segment";
+    case Code::kQuotaOverflow:
+      return "quota_overflow";
+    case Code::kPackFull:
+      return "pack_full";
+    case Code::kNoVtocSlot:
+      return "no_vtoc_slot";
+    case Code::kNonEmpty:
+      return "non_empty";
+    case Code::kOutOfBounds:
+      return "out_of_bounds";
+    case Code::kInvalidSegno:
+      return "invalid_segno";
+    case Code::kInvalidArgument:
+      return "invalid_argument";
+    case Code::kBlocked:
+      return "blocked";
+    case Code::kResourceExhausted:
+      return "resource_exhausted";
+    case Code::kFailedPrecondition:
+      return "failed_precondition";
+    case Code::kAuthenticationFailed:
+      return "authentication_failed";
+    case Code::kNotFound:
+      return "not_found";
+    case Code::kAlreadyExists:
+      return "already_exists";
+    case Code::kUnimplemented:
+      return "unimplemented";
+    case Code::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  std::string out(CodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace mks

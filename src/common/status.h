@@ -1,0 +1,131 @@
+// Status / Result error model for the Multics kernel simulator.
+//
+// The kernel is built without exceptions, in the style of real supervisor
+// code: every fallible operation returns a Status or a Result<T>.  The error
+// codes mirror the condition names of the historical Multics supervisor
+// (no_access, no_entry, quota_overflow, pack_full, ...) so that tests and
+// examples read like the paper.
+#ifndef MKS_COMMON_STATUS_H_
+#define MKS_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace mks {
+
+enum class Code : uint8_t {
+  kOk = 0,
+  // Protection conditions.
+  kNoAccess,        // reference monitor or ACL denied the operation
+  kRingViolation,   // caller's ring outside the gate's bracket
+  // Naming conditions.
+  kNoEntry,          // name not found in the searched directory
+  kNameDuplication,  // name already present in the directory
+  kNotADirectory,    // a segment identifier was used where a directory is needed
+  kNotASegment,      // a directory identifier was used where a segment is needed
+  // Resource-control conditions.
+  kQuotaOverflow,  // growing the segment would exceed the quota cell limit
+  kPackFull,       // the containing disk pack has no free records
+  kNoVtocSlot,     // the pack's table of contents is exhausted
+  kNonEmpty,       // directory delete / quota change attempted with children
+  // Addressing conditions.
+  kOutOfBounds,     // offset beyond the segment's maximum length
+  kInvalidSegno,    // segment number not bound in the address space
+  kInvalidArgument, // malformed request
+  // Multiplexing conditions.
+  kBlocked,             // the operation must wait on an eventcount
+  kResourceExhausted,   // fixed table (vp pool, AST area, core segment) full
+  kFailedPrecondition,  // object in the wrong state for the operation
+  kAuthenticationFailed,
+  kNotFound,
+  kAlreadyExists,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns the historical-style condition name, e.g. "quota_overflow".
+std::string_view CodeName(Code code);
+
+// A lightweight status word.  Ok statuses carry no message; error statuses
+// carry the code and an optional context string.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  explicit Status(Code code) : code_(code) {}
+  Status(Code code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable rendering: "quota_overflow: segment >foo>bar".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) { return os << s.ToString(); }
+
+// Result<T>: either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : var_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+  Result(Code code) : var_(Status(code)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+  const T& value() const { return std::get<T>(var_); }
+  T& value() { return std::get<T>(var_); }
+  T value_or(T fallback) const { return ok() ? value() : std::move(fallback); }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(var_);
+  }
+  Code code() const { return ok() ? Code::kOk : std::get<Status>(var_).code(); }
+
+  const T& operator*() const { return value(); }
+  T& operator*() { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+// Propagation helpers in the usual supervisor idiom.
+#define MKS_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::mks::Status mks_status_tmp_ = (expr);         \
+    if (!mks_status_tmp_.ok()) {                    \
+      return mks_status_tmp_;                       \
+    }                                               \
+  } while (0)
+
+#define MKS_CONCAT_INNER_(a, b) a##b
+#define MKS_CONCAT_(a, b) MKS_CONCAT_INNER_(a, b)
+#define MKS_ASSIGN_OR_RETURN_IMPL_(var, lhs, expr) \
+  auto var = (expr);                               \
+  if (!var.ok()) {                                 \
+    return var.status();                           \
+  }                                                \
+  lhs = std::move(*var)
+#define MKS_ASSIGN_OR_RETURN(lhs, expr) \
+  MKS_ASSIGN_OR_RETURN_IMPL_(MKS_CONCAT_(mks_result_, __LINE__), lhs, expr)
+
+}  // namespace mks
+
+#endif  // MKS_COMMON_STATUS_H_

@@ -1,0 +1,204 @@
+#include "src/deps/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <sstream>
+
+namespace mks {
+
+std::string_view DepKindName(DepKind kind) {
+  switch (kind) {
+    case DepKind::kComponent:
+      return "component";
+    case DepKind::kMap:
+      return "map";
+    case DepKind::kProgram:
+      return "program";
+    case DepKind::kAddressSpace:
+      return "address_space";
+    case DepKind::kInterpreter:
+      return "interpreter";
+  }
+  return "unknown";
+}
+
+ModuleId DependencyGraph::AddModule(std::string_view name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  ModuleId id(static_cast<uint16_t>(names_.size()));
+  names_.emplace_back(name);
+  ids_.emplace(std::string(name), id);
+  return id;
+}
+
+void DependencyGraph::AddEdge(ModuleId from, ModuleId to, DepKind kind) {
+  assert(from.value < names_.size() && to.value < names_.size());
+  edges_.insert(DepEdge{from, to, kind});
+  adj_[from].insert(to);
+}
+
+void DependencyGraph::AddEdge(std::string_view from, std::string_view to, DepKind kind) {
+  AddEdge(AddModule(from), AddModule(to), kind);
+}
+
+bool DependencyGraph::HasEdge(ModuleId from, ModuleId to) const {
+  auto it = adj_.find(from);
+  return it != adj_.end() && it->second.count(to) > 0;
+}
+
+bool DependencyGraph::HasModule(std::string_view name) const { return ids_.count(name) > 0; }
+
+ModuleId DependencyGraph::FindModule(std::string_view name) const {
+  auto it = ids_.find(name);
+  assert(it != ids_.end());
+  return it->second;
+}
+
+std::vector<std::vector<ModuleId>> DependencyGraph::Sccs() const {
+  // Iterative Tarjan to avoid recursion limits on large graphs.
+  const size_t n = names_.size();
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint16_t> stack;
+  std::vector<std::vector<ModuleId>> sccs;
+  int next_index = 0;
+
+  struct Frame {
+    uint16_t node;
+    std::set<ModuleId>::const_iterator it;
+    std::set<ModuleId>::const_iterator end;
+  };
+  static const std::set<ModuleId> kEmpty;
+
+  for (uint16_t start = 0; start < n; ++start) {
+    if (index[start] != -1) {
+      continue;
+    }
+    std::vector<Frame> frames;
+    auto push_node = [&](uint16_t v) {
+      index[v] = lowlink[v] = next_index++;
+      stack.push_back(v);
+      on_stack[v] = true;
+      auto it = adj_.find(ModuleId(v));
+      const std::set<ModuleId>& succ = it == adj_.end() ? kEmpty : it->second;
+      frames.push_back(Frame{v, succ.begin(), succ.end()});
+    };
+    push_node(start);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.it != f.end) {
+        const uint16_t w = f.it->value;
+        ++f.it;
+        if (index[w] == -1) {
+          push_node(w);
+        } else if (on_stack[w]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[w]);
+        }
+      } else {
+        const uint16_t v = f.node;
+        if (lowlink[v] == index[v]) {
+          std::vector<ModuleId> scc;
+          uint16_t w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            scc.push_back(ModuleId(w));
+          } while (w != v);
+          std::sort(scc.begin(), scc.end());
+          sccs.push_back(std::move(scc));
+        }
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().node] = std::min(lowlink[frames.back().node], lowlink[v]);
+        }
+      }
+    }
+  }
+  return sccs;
+}
+
+std::vector<std::vector<ModuleId>> DependencyGraph::Loops() const {
+  std::vector<std::vector<ModuleId>> loops;
+  for (auto& scc : Sccs()) {
+    if (scc.size() > 1) {
+      loops.push_back(scc);
+    } else if (HasEdge(scc[0], scc[0])) {
+      loops.push_back(scc);
+    }
+  }
+  return loops;
+}
+
+bool DependencyGraph::IsLoopFree() const { return Loops().empty(); }
+
+std::map<ModuleId, int> DependencyGraph::Layers() const {
+  if (!IsLoopFree()) {
+    return {};
+  }
+  std::map<ModuleId, int> layers;
+  std::function<int(ModuleId)> layer_of = [&](ModuleId m) -> int {
+    auto it = layers.find(m);
+    if (it != layers.end()) {
+      return it->second;
+    }
+    int layer = 0;
+    auto adj_it = adj_.find(m);
+    if (adj_it != adj_.end()) {
+      for (ModuleId dep : adj_it->second) {
+        layer = std::max(layer, layer_of(dep) + 1);
+      }
+    }
+    layers[m] = layer;
+    return layer;
+  };
+  for (uint16_t i = 0; i < names_.size(); ++i) {
+    layer_of(ModuleId(i));
+  }
+  return layers;
+}
+
+std::vector<ModuleId> DependencyGraph::VerificationOrder() const {
+  auto layers = Layers();
+  if (layers.empty() && !names_.empty()) {
+    return {};
+  }
+  std::vector<ModuleId> order;
+  order.reserve(names_.size());
+  for (uint16_t i = 0; i < names_.size(); ++i) {
+    order.push_back(ModuleId(i));
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](ModuleId a, ModuleId b) { return layers[a] < layers[b]; });
+  return order;
+}
+
+std::string DependencyGraph::ToDot(std::string_view title) const {
+  std::ostringstream out;
+  out << "digraph \"" << title << "\" {\n";
+  out << "  rankdir=BT;\n";
+  for (size_t i = 0; i < names_.size(); ++i) {
+    out << "  n" << i << " [label=\"" << names_[i] << "\",shape=box];\n";
+  }
+  for (const DepEdge& e : edges_) {
+    out << "  n" << e.from.value << " -> n" << e.to.value << " [label=\"" << DepKindName(e.kind)
+        << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string DependencyGraph::ToText() const {
+  std::ostringstream out;
+  for (const DepEdge& e : edges_) {
+    out << names_[e.from.value] << " --" << DepKindName(e.kind) << "--> " << names_[e.to.value]
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mks

@@ -1,0 +1,109 @@
+// Dependency-structure analysis, the analytical heart of the paper.
+//
+// The paper classifies every way one object-manager module can depend on
+// another into five kinds (component, map, program, address-space,
+// interpreter) and requires that the "depends on" relation form a loop-free
+// structure so that system correctness can be established one module at a
+// time.  DependencyGraph represents a declared (or observed) structure,
+// finds strongly connected components (Tarjan), computes the layering when
+// the structure is loop-free, and renders DOT for the paper's figures.
+#ifndef MKS_DEPS_GRAPH_H_
+#define MKS_DEPS_GRAPH_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace mks {
+
+enum class DepKind : uint8_t {
+  kComponent,     // M's objects are represented by the other manager's objects
+  kMap,           // M's object-name map is stored in the other manager's objects
+  kProgram,       // M's code and temporary storage live in the other's objects
+  kAddressSpace,  // the address space M executes in is the other's object
+  kInterpreter,   // the virtual processor interpreting M is the other's object
+};
+
+std::string_view DepKindName(DepKind kind);
+
+struct DepEdge {
+  ModuleId from;
+  ModuleId to;
+  DepKind kind;
+
+  friend bool operator<(const DepEdge& a, const DepEdge& b) {
+    if (a.from != b.from) {
+      return a.from < b.from;
+    }
+    if (a.to != b.to) {
+      return a.to < b.to;
+    }
+    return static_cast<uint8_t>(a.kind) < static_cast<uint8_t>(b.kind);
+  }
+  friend bool operator==(const DepEdge& a, const DepEdge& b) {
+    return a.from == b.from && a.to == b.to && a.kind == b.kind;
+  }
+};
+
+class DependencyGraph {
+ public:
+  // Adds a module node; returns its id.  Adding an existing name returns the
+  // existing id.
+  ModuleId AddModule(std::string_view name);
+
+  // Declares that `from` depends on `to` with the given kind.  Self-edges are
+  // permitted in the data model (they are trivially loops).
+  void AddEdge(ModuleId from, ModuleId to, DepKind kind);
+  void AddEdge(std::string_view from, std::string_view to, DepKind kind);
+
+  bool HasEdge(ModuleId from, ModuleId to) const;
+  bool HasModule(std::string_view name) const;
+  ModuleId FindModule(std::string_view name) const;  // dies if missing
+
+  size_t module_count() const { return names_.size(); }
+  size_t edge_count() const { return edges_.size(); }
+  const std::string& name(ModuleId id) const { return names_[id.value]; }
+  const std::set<DepEdge>& edges() const { return edges_; }
+
+  // Strongly connected components in reverse-topological order.  Every
+  // component of size > 1 (or with a self-edge) is a dependency loop.
+  std::vector<std::vector<ModuleId>> Sccs() const;
+
+  // All loops (SCCs that are genuine cycles).
+  std::vector<std::vector<ModuleId>> Loops() const;
+
+  // True iff the "depends on" relation is loop-free, i.e. correctness can be
+  // established iteratively, one module at a time.
+  bool IsLoopFree() const;
+
+  // Layer assignment for a loop-free graph: layer(m) = 1 + max layer of the
+  // modules m depends on; modules with no dependencies are layer 0.
+  // Returns an empty map when the graph has loops.
+  std::map<ModuleId, int> Layers() const;
+
+  // Modules in a valid verification order (dependencies first).  Empty when
+  // the graph has loops.
+  std::vector<ModuleId> VerificationOrder() const;
+
+  // Graphviz rendering, edges labelled by dependency kind.
+  std::string ToDot(std::string_view title) const;
+
+  // Plain-text rendering for benches: one line per edge.
+  std::string ToText() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, ModuleId, std::less<>> ids_;
+  std::set<DepEdge> edges_;
+  // Adjacency cache: from -> set of to (any kind).
+  std::map<ModuleId, std::set<ModuleId>> adj_;
+};
+
+}  // namespace mks
+
+#endif  // MKS_DEPS_GRAPH_H_

@@ -1,0 +1,188 @@
+#include "src/disk/pack.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mks {
+
+uint32_t VtocEntry::RecordsUsed() const {
+  uint32_t used = 0;
+  for (const FileMapEntry& fm : file_map) {
+    if (fm.allocated) {
+      ++used;
+    }
+  }
+  return used;
+}
+
+DiskPack::DiskPack(PackId id, uint32_t record_count, uint32_t vtoc_slots, CostModel* cost,
+                   Metrics* metrics)
+    : id_(id),
+      record_count_(record_count),
+      free_records_(record_count),
+      record_used_(record_count, false),
+      record_data_(record_count),
+      vtoc_(vtoc_slots),
+      cost_(cost),
+      metrics_(metrics) {}
+
+Result<RecordIndex> DiskPack::AllocateRecord() {
+  if (free_records_ == 0) {
+    metrics_->Inc("disk.pack_full");
+    return Status(Code::kPackFull, "pack " + std::to_string(id_.value));
+  }
+  for (uint32_t i = 0; i < record_count_; ++i) {
+    const uint32_t candidate = (alloc_cursor_ + i) % record_count_;
+    if (!record_used_[candidate]) {
+      record_used_[candidate] = true;
+      alloc_cursor_ = candidate + 1;
+      --free_records_;
+      metrics_->Inc("disk.records_allocated");
+      return RecordIndex(candidate);
+    }
+  }
+  metrics_->Inc("disk.pack_full");
+  return Status(Code::kPackFull, "pack " + std::to_string(id_.value));
+}
+
+void DiskPack::FreeRecord(RecordIndex record) {
+  assert(record.value < record_count_ && record_used_[record.value]);
+  record_used_[record.value] = false;
+  record_data_[record.value].clear();
+  record_data_[record.value].shrink_to_fit();
+  ++free_records_;
+  metrics_->Inc("disk.records_freed");
+}
+
+void DiskPack::ReadRecord(RecordIndex record, std::span<Word> out) {
+  assert(record.value < record_count_ && out.size() == kPageWords);
+  cost_->Charge(CodeStyle::kOptimized, Costs::kDiskReadLatency);
+  metrics_->Inc("disk.reads");
+  const std::vector<Word>& data = record_data_[record.value];
+  for (size_t i = 0; i < kPageWords; ++i) {
+    out[i] = i < data.size() ? data[i] : 0;
+  }
+}
+
+void DiskPack::WriteRecord(RecordIndex record, std::span<const Word> in) {
+  assert(record.value < record_count_ && in.size() == kPageWords);
+  cost_->Charge(CodeStyle::kOptimized, Costs::kDiskWriteLatency);
+  metrics_->Inc("disk.writes");
+  record_data_[record.value].assign(in.begin(), in.end());
+}
+
+void DiskPack::CopyRecord(RecordIndex record, std::span<Word> out) const {
+  assert(record.value < record_count_ && out.size() == kPageWords);
+  const std::vector<Word>& data = record_data_[record.value];
+  for (size_t i = 0; i < kPageWords; ++i) {
+    out[i] = i < data.size() ? data[i] : 0;
+  }
+}
+
+void DiskPack::StoreRecord(RecordIndex record, std::span<const Word> in) {
+  assert(record.value < record_count_ && in.size() == kPageWords);
+  record_data_[record.value].assign(in.begin(), in.end());
+}
+
+Result<VtocIndex> DiskPack::AllocateVtoc(SegmentUid uid, bool is_directory) {
+  for (uint32_t i = 0; i < vtoc_.size(); ++i) {
+    if (!vtoc_[i].in_use) {
+      vtoc_[i] = VtocEntry{};
+      vtoc_[i].in_use = true;
+      vtoc_[i].uid = uid;
+      vtoc_[i].is_directory = is_directory;
+      vtoc_[i].file_map.resize(kMaxSegmentPages);
+      metrics_->Inc("disk.vtoc_allocated");
+      return VtocIndex(i);
+    }
+  }
+  return Status(Code::kNoVtocSlot, "pack " + std::to_string(id_.value));
+}
+
+void DiskPack::FreeVtoc(VtocIndex index) {
+  assert(index.value < vtoc_.size() && vtoc_[index.value].in_use);
+  VtocEntry& entry = vtoc_[index.value];
+  for (FileMapEntry& fm : entry.file_map) {
+    if (fm.allocated) {
+      FreeRecord(fm.record);
+      fm.allocated = false;
+    }
+  }
+  entry = VtocEntry{};
+}
+
+VtocEntry* DiskPack::GetVtoc(VtocIndex index) {
+  if (index.value >= vtoc_.size() || !vtoc_[index.value].in_use) {
+    return nullptr;
+  }
+  return &vtoc_[index.value];
+}
+
+const VtocEntry* DiskPack::GetVtoc(VtocIndex index) const {
+  if (index.value >= vtoc_.size() || !vtoc_[index.value].in_use) {
+    return nullptr;
+  }
+  return &vtoc_[index.value];
+}
+
+uint32_t DiskPack::vtoc_in_use() const {
+  uint32_t used = 0;
+  for (const VtocEntry& e : vtoc_) {
+    if (e.in_use) {
+      ++used;
+    }
+  }
+  return used;
+}
+
+PackId VolumeControl::AddPack(uint32_t record_count, uint32_t vtoc_slots) {
+  PackId id(static_cast<uint16_t>(packs_.size()));
+  packs_.emplace_back(id, record_count, vtoc_slots, cost_, metrics_);
+  return id;
+}
+
+DiskPack* VolumeControl::pack(PackId id) {
+  assert(id.value < packs_.size());
+  return &packs_[id.value];
+}
+
+const DiskPack* VolumeControl::pack(PackId id) const {
+  assert(id.value < packs_.size());
+  return &packs_[id.value];
+}
+
+Result<PackId> VolumeControl::ChoosePack() const {
+  const DiskPack* best = nullptr;
+  for (const DiskPack& p : packs_) {
+    if (p.free_records() == 0 || p.vtoc_in_use() == p.vtoc_slots()) {
+      continue;
+    }
+    if (best == nullptr || p.free_records() > best->free_records()) {
+      best = &p;
+    }
+  }
+  if (best == nullptr) {
+    return Status(Code::kPackFull, "no pack with free space");
+  }
+  return best->id();
+}
+
+Result<PackId> VolumeControl::ChoosePackExcluding(PackId exclude,
+                                                  uint32_t needed_records) const {
+  const DiskPack* best = nullptr;
+  for (const DiskPack& p : packs_) {
+    if (p.id() == exclude || p.free_records() < needed_records ||
+        p.vtoc_in_use() == p.vtoc_slots()) {
+      continue;
+    }
+    if (best == nullptr || p.free_records() > best->free_records()) {
+      best = &p;
+    }
+  }
+  if (best == nullptr) {
+    return Status(Code::kPackFull, "no relocation target");
+  }
+  return best->id();
+}
+
+}  // namespace mks

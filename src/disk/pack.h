@@ -1,0 +1,124 @@
+// Disk volume control: demountable packs, record allocation, and the volume
+// table of contents (VTOC).
+//
+// A directory entry in Multics names a segment by the identifier of its
+// containing pack plus an index into that pack's table of contents; for
+// robustness and demountability, all pages of a segment live on the same
+// pack.  Growing a segment can therefore raise a full-pack exception, which
+// forces relocation of the entire segment to an emptier pack and an update of
+// the directory entry — the exception path whose dependency-loop cure the
+// paper describes in detail.
+//
+// File maps record a zero flag per page: page-sized blocks of zeros are
+// implemented by flags rather than stored records, the storage-charging
+// feature whose confinement consequences the paper analyzes.
+#ifndef MKS_DISK_PACK_H_
+#define MKS_DISK_PACK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/hw/machine.h"
+#include "src/sim/clock.h"
+#include "src/sim/metrics.h"
+
+namespace mks {
+
+struct FileMapEntry {
+  bool allocated = false;  // a disk record backs this page
+  bool zero = false;       // page is all zeros; no record is consumed
+  RecordIndex record{};
+};
+
+// Persistent image of a quota cell, stored in the VTOC entry of the
+// associated quota directory (the new design's explicit home for quota).
+struct QuotaCellStore {
+  bool present = false;
+  uint64_t limit = 0;
+  uint64_t count = 0;
+};
+
+struct VtocEntry {
+  bool in_use = false;
+  SegmentUid uid{};
+  bool is_directory = false;
+  uint32_t max_length_pages = kMaxSegmentPages;
+  std::vector<FileMapEntry> file_map;
+  QuotaCellStore quota;
+
+  // Number of pages that consume actual disk records (the storage charge).
+  uint32_t RecordsUsed() const;
+};
+
+class DiskPack {
+ public:
+  DiskPack(PackId id, uint32_t record_count, uint32_t vtoc_slots, CostModel* cost,
+           Metrics* metrics);
+
+  PackId id() const { return id_; }
+  uint32_t record_count() const { return record_count_; }
+  uint32_t free_records() const { return free_records_; }
+  double FreeFraction() const {
+    return static_cast<double>(free_records_) / static_cast<double>(record_count_);
+  }
+
+  Result<RecordIndex> AllocateRecord();
+  void FreeRecord(RecordIndex record);
+
+  // Record I/O; charges transfer latency to the clock.
+  void ReadRecord(RecordIndex record, std::span<Word> out);
+  void WriteRecord(RecordIndex record, std::span<const Word> in);
+  // Data copy without a latency charge, for transfers whose simulated time
+  // was accounted elsewhere (asynchronous completions, pack-to-pack moves).
+  void CopyRecord(RecordIndex record, std::span<Word> out) const;
+  void StoreRecord(RecordIndex record, std::span<const Word> in);
+
+  Result<VtocIndex> AllocateVtoc(SegmentUid uid, bool is_directory);
+  // Frees the VTOC slot and every record its file map holds.
+  void FreeVtoc(VtocIndex index);
+  VtocEntry* GetVtoc(VtocIndex index);
+  const VtocEntry* GetVtoc(VtocIndex index) const;
+  uint32_t vtoc_slots() const { return static_cast<uint32_t>(vtoc_.size()); }
+  uint32_t vtoc_in_use() const;
+
+ private:
+  PackId id_;
+  uint32_t record_count_;
+  uint32_t free_records_;
+  uint32_t alloc_cursor_ = 0;
+  std::vector<bool> record_used_;
+  std::vector<std::vector<Word>> record_data_;  // lazily sized per record
+  std::vector<VtocEntry> vtoc_;
+  CostModel* cost_;
+  Metrics* metrics_;
+};
+
+// The set of mounted packs plus placement policy.
+class VolumeControl {
+ public:
+  VolumeControl(CostModel* cost, Metrics* metrics) : cost_(cost), metrics_(metrics) {}
+
+  PackId AddPack(uint32_t record_count, uint32_t vtoc_slots);
+  DiskPack* pack(PackId id);
+  const DiskPack* pack(PackId id) const;
+  size_t pack_count() const { return packs_.size(); }
+
+  // Placement for a new segment: the pack with the most free records that
+  // still has a VTOC slot.  kPackFull when no pack has space.
+  Result<PackId> ChoosePack() const;
+  // Relocation target for a segment being moved off `exclude`: the emptiest
+  // other pack with at least `needed_records` free.
+  Result<PackId> ChoosePackExcluding(PackId exclude, uint32_t needed_records) const;
+
+ private:
+  std::vector<DiskPack> packs_;
+  CostModel* cost_;
+  Metrics* metrics_;
+};
+
+}  // namespace mks
+
+#endif  // MKS_DISK_PACK_H_

@@ -1,0 +1,68 @@
+#include "src/fs/path_walker.h"
+
+#include <sstream>
+
+namespace mks {
+
+std::vector<std::string> PathWalker::Split(const std::string& path) {
+  std::vector<std::string> components;
+  std::istringstream stream(path);
+  std::string component;
+  while (std::getline(stream, component, '>')) {
+    if (!component.empty()) {
+      components.push_back(component);
+    }
+  }
+  return components;
+}
+
+Result<EntryId> PathWalker::Walk(ProcContext& ctx, const std::string& path) {
+  EntryId current = gates_->RootId();
+  for (const std::string& component : Split(path)) {
+    auto next = gates_->Search(ctx, current, component);
+    if (!next.ok()) {
+      return next.status();  // only an accessible directory says kNoEntry
+    }
+    current = *next;
+  }
+  return current;
+}
+
+Result<Segno> PathWalker::Initiate(ProcContext& ctx, const std::string& path) {
+  MKS_ASSIGN_OR_RETURN(EntryId target, Walk(ctx, path));
+  return gates_->Initiate(ctx, target);
+}
+
+Result<EntryId> PathWalker::CreateDirectories(ProcContext& ctx, const std::string& path,
+                                              Acl acl, Label label) {
+  EntryId current = gates_->RootId();
+  for (const std::string& component : Split(path)) {
+    auto next = gates_->Search(ctx, current, component);
+    if (next.ok()) {
+      current = *next;
+      continue;
+    }
+    if (next.code() != Code::kNoEntry) {
+      return next.status();
+    }
+    MKS_ASSIGN_OR_RETURN(current, gates_->CreateDirectory(ctx, current, component, acl, label));
+  }
+  return current;
+}
+
+Result<EntryId> PathWalker::CreateSegment(ProcContext& ctx, const std::string& path, Acl acl,
+                                          Label label) {
+  auto components = Split(path);
+  if (components.empty()) {
+    return Status(Code::kInvalidArgument, "empty path");
+  }
+  const std::string leaf = components.back();
+  std::string dir_path;
+  for (size_t i = 0; i + 1 < components.size(); ++i) {
+    dir_path += ">" + components[i];
+  }
+  MKS_ASSIGN_OR_RETURN(EntryId dir, CreateDirectories(ctx, dir_path, acl, label));
+  return gates_->CreateSegment(ctx, dir, leaf, acl, label);
+}
+
+}  // namespace mks

@@ -1,0 +1,46 @@
+// The user-ring path walker.
+//
+// "The general operation of following path names did not need to be a
+// protected mechanism": given the kernel's single-directory search primitive
+// (with Bratt's mythical-identifier semantics), tree-name expansion runs
+// entirely in the user ring.  The walker cannot tell whether the identifiers
+// it holds for inaccessible intermediate directories are real or mythical;
+// only the final initiate decides — with a bare "no access" either way.
+#ifndef MKS_FS_PATH_WALKER_H_
+#define MKS_FS_PATH_WALKER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+
+namespace mks {
+
+class PathWalker {
+ public:
+  explicit PathWalker(KernelGates* gates) : gates_(gates) {}
+
+  // Splits ">a>b>c" into components.
+  static std::vector<std::string> Split(const std::string& path);
+
+  // Expands the tree name one component at a time.  Always yields an
+  // identifier for syntactically valid paths, except when an accessible
+  // directory definitively reports kNoEntry.
+  Result<EntryId> Walk(ProcContext& ctx, const std::string& path);
+
+  // Walks the containing directory, then walks+initiates the leaf.
+  Result<Segno> Initiate(ProcContext& ctx, const std::string& path);
+
+  // User-domain conveniences built from kernel gates: create missing
+  // directories along the path, then the leaf object.
+  Result<EntryId> CreateSegment(ProcContext& ctx, const std::string& path, Acl acl, Label label);
+  Result<EntryId> CreateDirectories(ProcContext& ctx, const std::string& path, Acl acl,
+                                    Label label);
+
+ private:
+  KernelGates* gates_;
+};
+
+}  // namespace mks
+
+#endif  // MKS_FS_PATH_WALKER_H_

@@ -1,0 +1,191 @@
+// Simulated Multics-class hardware: primary memory, segment/page descriptor
+// words, descriptor segments, and processors.
+//
+// The machine is word-addressed with 1024-word pages.  A processor translates
+// (segment number, offset) through a descriptor segment (array of SDWs) to a
+// page table (array of PTWs) to an absolute address, reporting typed faults
+// instead of trapping.  Two descriptor-base registers are modelled, per the
+// kernel design: segment numbers below kSystemSegnoLimit translate through a
+// per-processor *system* descriptor segment whose descriptors refer only to
+// permanently-resident storage, so system modules cannot depend on the user
+// virtual-memory machinery.
+//
+// HwFeatures gates the paper's proposed processor additions (descriptor lock
+// bit, quota-exception bit, wakeup-waiting switch, lock-address register) so
+// the same substrate serves the baseline supervisor (features off) and the
+// new kernel (features on), making the paper's "minor hardware adjustments
+// make a significant difference" conclusion an ablation knob.
+#ifndef MKS_HW_MACHINE_H_
+#define MKS_HW_MACHINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/sim/clock.h"
+#include "src/sim/metrics.h"
+
+namespace mks {
+
+using Word = uint64_t;
+
+inline constexpr uint32_t kPageWords = 1024;
+// Maximum segment length: 256 pages (the historical 6180 limit of 256K words,
+// scaled down to 1024-word pages to keep simulations small).
+inline constexpr uint32_t kMaxSegmentPages = 256;
+// Segment numbers below this bound translate through the per-processor system
+// descriptor segment (the second descriptor-base register of the new design).
+inline constexpr uint16_t kSystemSegnoLimit = 64;
+
+enum class AccessMode : uint8_t { kRead, kWrite, kExecute };
+
+// Page table word.  `unallocated` marks a never-before-used page of a
+// segment; with HwFeatures::quota_exception_bit the hardware converts a
+// reference to such a page into a distinct quota exception, otherwise it
+// surfaces as an ordinary missing page that software must re-diagnose.
+struct Ptw {
+  uint32_t frame = 0;
+  bool in_core = false;
+  bool unallocated = true;
+  bool locked = false;    // descriptor lock bit (new hardware)
+  bool used = false;
+  bool modified = false;
+};
+
+// A segment's page table.  In the real system page tables live in the active
+// segment table region of permanently-resident core; here the container is a
+// C++ vector and residency is accounted by the core-segment manager.
+struct PageTable {
+  SegmentUid owner{};
+  std::vector<Ptw> ptws;
+};
+
+// Segment descriptor word.
+struct Sdw {
+  bool present = false;
+  PageTable* page_table = nullptr;
+  uint32_t bound_pages = 0;  // addressable length in pages
+  bool read = false;
+  bool write = false;
+  bool execute = false;
+  uint8_t ring_bracket = 7;  // highest ring permitted to use this descriptor
+};
+
+// An address space: an array of SDWs indexed by segment number (relative to
+// the space's base segno).
+struct DescriptorSegment {
+  std::vector<Sdw> sdws;
+
+  Sdw* Get(uint16_t index) {
+    return index < sdws.size() ? &sdws[index] : nullptr;
+  }
+};
+
+struct HwFeatures {
+  bool descriptor_lock_bit = false;
+  bool quota_exception_bit = false;
+  bool wakeup_waiting_switch = false;
+  bool second_dsbr = false;
+
+  static HwFeatures Baseline() { return HwFeatures{}; }
+  static HwFeatures KernelDesign() {
+    return HwFeatures{.descriptor_lock_bit = true,
+                      .quota_exception_bit = true,
+                      .wakeup_waiting_switch = true,
+                      .second_dsbr = true};
+  }
+};
+
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kMissingSegment,
+  kMissingPage,
+  kLockedDescriptor,  // only with descriptor_lock_bit
+  kQuotaException,    // only with quota_exception_bit
+  kOutOfBounds,
+  kAccessViolation,
+  kRingViolation,
+};
+
+std::string_view FaultKindName(FaultKind kind);
+
+struct Fault {
+  FaultKind kind = FaultKind::kNone;
+  Segno segno{};
+  uint32_t page = 0;
+  Ptw* ptw = nullptr;  // absolute descriptor address (identity) for retranslation checks
+};
+
+struct AccessResult {
+  bool ok = false;
+  uint64_t abs_addr = 0;
+  Fault fault;
+};
+
+// Primary (core) memory: an array of page frames.
+class PrimaryMemory {
+ public:
+  PrimaryMemory(uint32_t frame_count, CostModel* cost, Metrics* metrics);
+
+  uint32_t frame_count() const { return frame_count_; }
+  uint64_t size_words() const { return words_.size(); }
+
+  Word ReadWord(uint64_t abs_addr);
+  void WriteWord(uint64_t abs_addr, Word value);
+
+  std::span<Word> FrameSpan(FrameIndex frame);
+  void ZeroFrame(FrameIndex frame);
+  // Scans the frame for the zero-page optimization; charges one cycle per
+  // word scanned, which is the cost the paper notes the removal algorithm
+  // must pay ("searching the contents of pages about to be removed").
+  bool FrameIsZero(FrameIndex frame);
+
+ private:
+  uint32_t frame_count_;
+  std::vector<Word> words_;
+  CostModel* cost_;
+  Metrics* metrics_;
+};
+
+// A simulated processor.
+class Processor {
+ public:
+  Processor(HwFeatures features, CostModel* cost, Metrics* metrics)
+      : features_(features), cost_(cost), metrics_(metrics) {}
+
+  void set_user_ds(DescriptorSegment* ds) { user_ds_ = ds; }
+  void set_system_ds(DescriptorSegment* ds) { system_ds_ = ds; }
+  DescriptorSegment* user_ds() const { return user_ds_; }
+  DescriptorSegment* system_ds() const { return system_ds_; }
+  const HwFeatures& features() const { return features_; }
+
+  // Translates and access-checks one reference.  On success returns the
+  // absolute address and marks the PTW used/modified.  On failure returns a
+  // typed fault; with the descriptor lock bit enabled, a missing page also
+  // locks the offending descriptor and latches its address in the
+  // lock-address register.
+  AccessResult Access(Segno segno, uint32_t offset, AccessMode mode, uint8_t ring);
+
+  // Wakeup-waiting switch (new hardware): armed before a vp decides to wait;
+  // a notification between the locked-descriptor fault and the wait primitive
+  // flips it so the notification is not lost.
+  void ArmWakeupWaiting() { wakeup_waiting_ = false; }
+  void SetWakeupWaiting() { wakeup_waiting_ = true; }
+  bool wakeup_waiting() const { return wakeup_waiting_; }
+  const Ptw* lock_address_register() const { return lock_address_register_; }
+
+ private:
+  HwFeatures features_;
+  CostModel* cost_;
+  Metrics* metrics_;
+  DescriptorSegment* user_ds_ = nullptr;
+  DescriptorSegment* system_ds_ = nullptr;
+  bool wakeup_waiting_ = false;
+  const Ptw* lock_address_register_ = nullptr;
+};
+
+}  // namespace mks
+
+#endif  // MKS_HW_MACHINE_H_

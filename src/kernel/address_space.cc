@@ -1,0 +1,199 @@
+#include "src/kernel/address_space.h"
+
+namespace mks {
+
+AddressSpaceManager::AddressSpaceManager(KernelContext* ctx, CoreSegmentManager* core_segs,
+                                         SegmentManager* segs)
+    : ctx_(ctx),
+      self_(ctx->tracker.Register(module_names::kAddressSpace)),
+      core_segs_(core_segs),
+      segs_(segs) {}
+
+Status AddressSpaceManager::Init(uint16_t user_sdw_count) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  user_sdw_count_ = user_sdw_count;
+  // One resident descriptor per core segment: the system address space.
+  system_ds_.sdws.assign(kSystemSegnoLimit, Sdw{});
+  for (uint16_t i = 0; i < core_segs_->count() && i < kSystemSegnoLimit; ++i) {
+    const CoreSegId seg(i);
+    const uint32_t pages = core_segs_->SizeWords(seg) / kPageWords;
+    auto pt = std::make_unique<PageTable>();
+    pt->ptws.assign(pages, Ptw{});
+    // Core segments are carved contiguously from frame 0 upward; reconstruct
+    // the frame numbers from the span.
+    auto span = core_segs_->RawSpan(seg);
+    const uint32_t first_frame =
+        static_cast<uint32_t>((span.data() - ctx_->memory.FrameSpan(FrameIndex(0)).data()) /
+                              kPageWords);
+    for (uint32_t p = 0; p < pages; ++p) {
+      Ptw& ptw = pt->ptws[p];
+      ptw.in_core = true;
+      ptw.unallocated = false;
+      ptw.frame = first_frame + p;
+    }
+    Sdw& sdw = system_ds_.sdws[i];
+    sdw.present = true;
+    sdw.page_table = pt.get();
+    sdw.bound_pages = pages;
+    sdw.read = true;
+    sdw.write = true;
+    sdw.execute = true;
+    sdw.ring_bracket = 0;  // kernel-only
+    system_page_tables_.push_back(std::move(pt));
+  }
+  ctx_->processor.set_system_ds(&system_ds_);
+  return Status::Ok();
+}
+
+Status AddressSpaceManager::CreateSpace(ProcessId pid) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  if (spaces_.count(pid) != 0) {
+    return Status(Code::kAlreadyExists, "address space exists");
+  }
+  SpaceRec space;
+  space.ds.sdws.assign(user_sdw_count_, Sdw{});
+  space.ast_of.assign(user_sdw_count_, kNoAst);
+  spaces_.emplace(pid, std::move(space));
+  ctx_->metrics.Inc("asm.spaces_created");
+  return Status::Ok();
+}
+
+Status AddressSpaceManager::DestroySpace(ProcessId pid) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  auto it = spaces_.find(pid);
+  if (it == spaces_.end()) {
+    return Status(Code::kNotFound, "no address space");
+  }
+  for (uint16_t i = 0; i < user_sdw_count_; ++i) {
+    if (it->second.ast_of[i] != kNoAst) {
+      segs_->NoteDisconnect(it->second.ast_of[i]);
+    }
+  }
+  spaces_.erase(it);
+  return Status::Ok();
+}
+
+DescriptorSegment* AddressSpaceManager::Space(ProcessId pid) {
+  auto it = spaces_.find(pid);
+  return it == spaces_.end() ? nullptr : &it->second.ds;
+}
+
+Status AddressSpaceManager::Connect(ProcessId pid, Segno segno, uint32_t ast,
+                                    AccessModes modes, uint8_t ring_bracket) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  auto it = spaces_.find(pid);
+  if (it == spaces_.end()) {
+    return Status(Code::kNotFound, "no address space");
+  }
+  if (segno.value < kSystemSegnoLimit ||
+      segno.value >= kSystemSegnoLimit + user_sdw_count_) {
+    return Status(Code::kInvalidSegno, "segno outside the user range");
+  }
+  AstEntry* entry = segs_->Get(ast);
+  if (entry == nullptr) {
+    return Status(Code::kInvalidArgument, "bad AST index");
+  }
+  const uint16_t index = static_cast<uint16_t>(segno.value - kSystemSegnoLimit);
+  SpaceRec& space = it->second;
+  if (space.ds.sdws[index].present) {
+    return Status(Code::kAlreadyExists, "segno already connected");
+  }
+  Sdw& sdw = space.ds.sdws[index];
+  sdw.present = true;
+  sdw.page_table = &entry->page_table;
+  sdw.bound_pages = entry->max_pages;
+  sdw.read = modes.read;
+  sdw.write = modes.write;
+  sdw.execute = modes.execute;
+  sdw.ring_bracket = ring_bracket;
+  space.ast_of[index] = ast;
+  segs_->NoteConnect(ast);
+  ctx_->metrics.Inc("asm.connects");
+  return Status::Ok();
+}
+
+Status AddressSpaceManager::Disconnect(ProcessId pid, Segno segno) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  auto it = spaces_.find(pid);
+  if (it == spaces_.end()) {
+    return Status(Code::kNotFound, "no address space");
+  }
+  const uint16_t index = static_cast<uint16_t>(segno.value - kSystemSegnoLimit);
+  SpaceRec& space = it->second;
+  if (index >= user_sdw_count_ || !space.ds.sdws[index].present) {
+    return Status(Code::kInvalidSegno, "segno not connected");
+  }
+  segs_->NoteDisconnect(space.ast_of[index]);
+  space.ds.sdws[index] = Sdw{};
+  space.ast_of[index] = kNoAst;
+  return Status::Ok();
+}
+
+uint32_t AddressSpaceManager::DisconnectEverywhere(SegmentUid uid) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  uint32_t severed = 0;
+  for (auto& [pid, space] : spaces_) {
+    for (uint16_t i = 0; i < user_sdw_count_; ++i) {
+      const uint32_t ast = space.ast_of[i];
+      if (ast == kNoAst) {
+        continue;
+      }
+      AstEntry* entry = segs_->Get(ast);
+      if (entry != nullptr && entry->uid == uid) {
+        segs_->NoteDisconnect(ast);
+        space.ds.sdws[i] = Sdw{};
+        space.ast_of[i] = kNoAst;
+        ++severed;
+      }
+    }
+  }
+  ctx_->metrics.Inc("asm.disconnect_everywhere", severed);
+  return severed;
+}
+
+void AddressSpaceManager::AuditIntegrity(std::vector<std::string>* findings) const {
+  std::unordered_map<uint32_t, uint32_t> sdw_counts;
+  for (const auto& [pid, space] : spaces_) {
+    for (uint16_t i = 0; i < user_sdw_count_; ++i) {
+      const uint32_t ast = space.ast_of[i];
+      const Sdw& sdw = space.ds.sdws[i];
+      if (ast == kNoAst) {
+        if (sdw.present) {
+          findings->push_back("process " + std::to_string(pid.value) + " segno index " +
+                              std::to_string(i) + ": SDW present with no AST record");
+        }
+        continue;
+      }
+      ++sdw_counts[ast];
+      AstEntry* entry = segs_->Get(ast);
+      if (entry == nullptr) {
+        findings->push_back("process " + std::to_string(pid.value) +
+                            ": SDW names a dead AST slot " + std::to_string(ast));
+        continue;
+      }
+      if (sdw.page_table != &entry->page_table) {
+        findings->push_back("process " + std::to_string(pid.value) +
+                            ": SDW page-table pointer out of step with AST " +
+                            std::to_string(ast));
+      }
+    }
+  }
+  for (uint32_t slot = 0; slot < segs_->ast_slots(); ++slot) {
+    AstEntry* entry = segs_->Get(slot);
+    if (entry == nullptr) {
+      continue;
+    }
+    const uint32_t counted = sdw_counts.count(slot) ? sdw_counts[slot] : 0;
+    if (counted != entry->connections) {
+      findings->push_back("AST " + std::to_string(slot) + ": connections " +
+                          std::to_string(entry->connections) + " but " +
+                          std::to_string(counted) + " SDWs observed");
+    }
+  }
+}
+
+void AddressSpaceManager::BindToProcessor(Processor* processor, ProcessId pid) {
+  processor->set_user_ds(Space(pid));
+}
+
+}  // namespace mks

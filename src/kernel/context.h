@@ -1,0 +1,68 @@
+// Shared substrate bundle for the kernel's object managers.
+//
+// Every manager receives a KernelContext*: the simulated clock/cost model,
+// metrics, the deferred-completion event queue, the runtime dependency
+// tracker, the eventcount table, the reference monitor, primary memory, the
+// disk volumes, and the service processor.  The context owns no policy; it is
+// the "machine room" the managers are built over.
+#ifndef MKS_KERNEL_CONTEXT_H_
+#define MKS_KERNEL_CONTEXT_H_
+
+#include <cstdint>
+
+#include "src/aim/monitor.h"
+#include "src/deps/tracker.h"
+#include "src/disk/pack.h"
+#include "src/hw/machine.h"
+#include "src/sim/clock.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/metrics.h"
+#include "src/sync/eventcount.h"
+
+namespace mks {
+
+struct KernelContext {
+  KernelContext(uint32_t memory_frames, HwFeatures features, double structured_factor,
+                uint64_t secret_seed)
+      : cost(&clock),
+        eventcounts(&metrics),
+        monitor(&clock, &metrics),
+        memory(memory_frames, &cost, &metrics),
+        volumes(&cost, &metrics),
+        processor(features, &cost, &metrics),
+        secret(secret_seed) {
+    cost.set_structured_factor(structured_factor);
+  }
+
+  Clock clock;
+  CostModel cost;
+  Metrics metrics;
+  EventQueue events;
+  CallTracker tracker;
+  EventcountTable eventcounts;
+  ReferenceMonitor monitor;
+  PrimaryMemory memory;
+  VolumeControl volumes;
+  Processor processor;  // service processor executing the current computation
+  uint64_t secret;      // per-boot secret keying Bratt mythical identifiers
+};
+
+// Canonical module names used in both the declared lattice and the runtime
+// tracker.  Matching the names exactly is what lets tests compare them.
+namespace module_names {
+inline constexpr const char* kCoreSegment = "core_segment_manager";
+inline constexpr const char* kVproc = "virtual_processor_manager";
+inline constexpr const char* kDiskVolume = "disk_volume_control";
+inline constexpr const char* kQuotaCell = "quota_cell_manager";
+inline constexpr const char* kPageFrame = "page_frame_manager";
+inline constexpr const char* kSegment = "segment_manager";
+inline constexpr const char* kAddressSpace = "address_space_manager";
+inline constexpr const char* kKnownSegment = "known_segment_manager";
+inline constexpr const char* kDirectory = "directory_manager";
+inline constexpr const char* kUserProcess = "user_process_manager";
+inline constexpr const char* kGates = "gate_keeper";
+}  // namespace module_names
+
+}  // namespace mks
+
+#endif  // MKS_KERNEL_CONTEXT_H_

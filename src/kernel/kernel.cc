@@ -1,0 +1,175 @@
+#include "src/kernel/kernel.h"
+
+namespace mks {
+
+Kernel::Kernel(const KernelConfig& config)
+    : config_(config),
+      ctx_(std::make_unique<KernelContext>(config.memory_frames, config.features,
+                                           config.structured_factor, config.secret)) {
+  core_segs_ = std::make_unique<CoreSegmentManager>(ctx_.get());
+  vpm_ = std::make_unique<VirtualProcessorManager>(ctx_.get(), core_segs_.get());
+  quota_ = std::make_unique<QuotaCellManager>(ctx_.get(), core_segs_.get());
+  pfm_ = std::make_unique<PageFrameManager>(ctx_.get(), core_segs_.get(), quota_.get(),
+                                            vpm_.get());
+  segs_ = std::make_unique<SegmentManager>(ctx_.get(), core_segs_.get(), quota_.get(),
+                                           pfm_.get());
+  spaces_ = std::make_unique<AddressSpaceManager>(ctx_.get(), core_segs_.get(), segs_.get());
+  ksm_ = std::make_unique<KnownSegmentManager>(ctx_.get(), segs_.get(), spaces_.get());
+  dirs_ = std::make_unique<DirectoryManager>(ctx_.get(), quota_.get(), segs_.get(),
+                                             spaces_.get());
+  gates_ = std::make_unique<KernelGates>(ctx_.get(), vpm_.get(), pfm_.get(), segs_.get(),
+                                         spaces_.get(), ksm_.get(), dirs_.get());
+  uproc_ = std::make_unique<UserProcessManager>(ctx_.get(), core_segs_.get(), vpm_.get(),
+                                                pfm_.get(), segs_.get(), ksm_.get(),
+                                                gates_.get());
+}
+
+Kernel::~Kernel() = default;
+
+Status Kernel::Boot() {
+  if (booted_) {
+    return Status(Code::kFailedPrecondition, "already booted");
+  }
+  // Stage 1: the fixed pool of virtual processors, states wired in core.
+  MKS_RETURN_IF_ERROR(vpm_->Init(config_.vp_count));
+  // Stage 2: mount the packs.
+  for (uint16_t p = 0; p < config_.pack_count; ++p) {
+    ctx_->volumes.AddPack(config_.records_per_pack, config_.vtoc_slots_per_pack);
+  }
+  // Stage 3: resource-control and paging substrate.
+  MKS_RETURN_IF_ERROR(quota_->Init(config_.quota_cell_slots));
+  MKS_RETURN_IF_ERROR(segs_->Init(config_.ast_slots));
+  MKS_RETURN_IF_ERROR(spaces_->Init(config_.user_sdw_count));
+  // Stage 4: the user process layer's real-memory queue (a core segment).
+  MKS_RETURN_IF_ERROR(uproc_->Init());
+  // Stage 5: the paging pool takes every frame left after the core segments;
+  // core segment allocation is now frozen.
+  MKS_RETURN_IF_ERROR(pfm_->Init());
+  core_segs_->Seal();
+  pfm_->set_async(config_.async_paging);
+  pfm_->set_retain_zero_records(config_.close_zero_page_channel);
+  // Stage 6: permanently bind the kernel daemons to virtual processors.
+  if (config_.async_paging) {
+    MKS_RETURN_IF_ERROR(
+        vpm_->BindKernelTask("page_io_daemon", [this]() { return pfm_->PageIoDaemonStep(); })
+            .status());
+    MKS_RETURN_IF_ERROR(
+        vpm_->BindKernelTask("page_writer", [this]() { return pfm_->PageWriterStep(4); })
+            .status());
+  }
+  // Stage 7: the naming hierarchy.
+  MKS_RETURN_IF_ERROR(dirs_->InitRoot(config_.root_label, config_.root_acl, config_.root_quota));
+  booted_ = true;
+  return Status::Ok();
+}
+
+Status Kernel::Shutdown() {
+  if (!booted_) {
+    return Status(Code::kFailedPrecondition, "not booted");
+  }
+  // Sever every user binding, then drain the active segment table.
+  while (uproc_->process_count() > 0) {
+    // Destroy in discovery order; DestroyProcess handles vp release and the
+    // state segment's storage.
+    bool destroyed = false;
+    for (uint32_t pid = 1; pid < 4096; ++pid) {
+      if (uproc_->Context(ProcessId(pid)) != nullptr) {
+        MKS_RETURN_IF_ERROR(uproc_->DestroyProcess(ProcessId(pid)));
+        destroyed = true;
+        break;
+      }
+    }
+    if (!destroyed) {
+      return Status(Code::kInternal, "process table would not drain");
+    }
+  }
+  for (uint32_t slot = 0; slot < segs_->ast_slots(); ++slot) {
+    if (segs_->Get(slot) != nullptr) {
+      MKS_RETURN_IF_ERROR(segs_->Deactivate(slot));
+    }
+  }
+  for (uint32_t cell = 0; cell < config_.quota_cell_slots; ++cell) {
+    Status flushed = quota_->FlushCell(QuotaCellId(cell));
+    if (!flushed.ok() && flushed.code() != Code::kInvalidArgument) {
+      return flushed;
+    }
+  }
+  booted_ = false;
+  ctx_->metrics.Inc("kernel.shutdowns");
+  return Status::Ok();
+}
+
+std::vector<std::string> Kernel::AuditIntegrity() {
+  std::vector<std::string> findings;
+  pfm_->AuditIntegrity(&findings);
+  spaces_->AuditIntegrity(&findings);
+  dirs_->AuditQuotaIntegrity(&findings);
+  return findings;
+}
+
+ProcContext Kernel::MakeContext(ProcessId pid, const Subject& subject) const {
+  ProcContext ctx;
+  ctx.pid = pid;
+  ctx.subject = subject;
+  return ctx;
+}
+
+DependencyGraph Kernel::DeclaredLattice() {
+  using namespace module_names;
+  DependencyGraph g;
+  // Modules, bottom-up.
+  g.AddModule(kCoreSegment);
+  g.AddModule(kVproc);
+  g.AddModule(kDiskVolume);
+  g.AddModule(kQuotaCell);
+  g.AddModule(kPageFrame);
+  g.AddModule(kSegment);
+  g.AddModule(kAddressSpace);
+  g.AddModule(kKnownSegment);
+  g.AddModule(kDirectory);
+  g.AddModule(kUserProcess);
+  g.AddModule(kGates);
+
+  // Program and address-space dependencies: every module keeps its code,
+  // temporary storage, and (for kernel modules) its address space in core
+  // segments.
+  for (const char* m : {kVproc, kDiskVolume, kQuotaCell, kPageFrame, kSegment, kAddressSpace,
+                        kKnownSegment, kDirectory, kUserProcess, kGates}) {
+    g.AddEdge(m, kCoreSegment, DepKind::kProgram);
+    g.AddEdge(m, kCoreSegment, DepKind::kAddressSpace);
+  }
+  // Interpreter dependencies: everything above level 1 executes on a virtual
+  // processor.
+  for (const char* m : {kDiskVolume, kQuotaCell, kPageFrame, kSegment, kAddressSpace,
+                        kKnownSegment, kDirectory, kUserProcess, kGates}) {
+    g.AddEdge(m, kVproc, DepKind::kInterpreter);
+  }
+
+  // Component and map dependencies of the design.
+  g.AddEdge(kQuotaCell, kDiskVolume, DepKind::kComponent);  // cells persist in VTOC entries
+  g.AddEdge(kPageFrame, kDiskVolume, DepKind::kComponent);  // pages are disk records
+  g.AddEdge(kPageFrame, kQuotaCell, DepKind::kMap);         // storage-use accounting
+  g.AddEdge(kSegment, kPageFrame, DepKind::kComponent);     // segments are sets of pages
+  g.AddEdge(kSegment, kDiskVolume, DepKind::kMap);          // file maps live on the pack
+  g.AddEdge(kSegment, kQuotaCell, DepKind::kMap);           // growth charges the static cell
+  g.AddEdge(kAddressSpace, kSegment, DepKind::kComponent);  // SDWs name active segments
+  g.AddEdge(kKnownSegment, kSegment, DepKind::kComponent);  // KST entries name segments
+  g.AddEdge(kKnownSegment, kAddressSpace, DepKind::kComponent);
+  g.AddEdge(kDirectory, kSegment, DepKind::kComponent);  // directories stored in segments
+  g.AddEdge(kDirectory, kQuotaCell, DepKind::kMap);      // quota designation
+  g.AddEdge(kDirectory, kAddressSpace, DepKind::kComponent);  // severs SDWs before a move
+  g.AddEdge(kDirectory, kDiskVolume, DepKind::kMap);          // entry names (pack, vtoc)
+  g.AddEdge(kUserProcess, kKnownSegment, DepKind::kComponent);  // process state segments
+  g.AddEdge(kUserProcess, kSegment, DepKind::kMap);
+  g.AddEdge(kUserProcess, kPageFrame, DepKind::kMap);  // the real-memory queue contract
+  g.AddEdge(kUserProcess, kDiskVolume, DepKind::kMap);
+
+  // The gate keeper sits on top of everything.
+  for (const char* m : {kDiskVolume, kQuotaCell, kPageFrame, kSegment, kAddressSpace,
+                        kKnownSegment, kDirectory, kUserProcess}) {
+    g.AddEdge(kGates, m, DepKind::kComponent);
+  }
+  return g;
+}
+
+}  // namespace mks

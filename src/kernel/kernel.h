@@ -1,0 +1,110 @@
+// The assembled kernel: configuration, staged initialization, and the
+// declared dependency lattice of the new design (the paper's Figure 4).
+//
+// Kernel owns every object manager and wires them bottom-up.  Initialization
+// is staged the way the certifiable-initialization redesign proposed: each
+// stage uses only managers initialized by earlier stages, so the boot order
+// IS a topological order of the lattice.
+#ifndef MKS_KERNEL_KERNEL_H_
+#define MKS_KERNEL_KERNEL_H_
+
+#include <memory>
+
+#include "src/kernel/uproc.h"
+
+namespace mks {
+
+struct KernelConfig {
+  // Machine shape.
+  uint32_t memory_frames = 512;
+  uint16_t vp_count = 8;
+  uint16_t user_sdw_count = 128;
+  uint32_t ast_slots = 64;
+  uint32_t quota_cell_slots = 64;
+  // Disk shape.
+  uint16_t pack_count = 2;
+  uint32_t records_per_pack = 4096;
+  uint32_t vtoc_slots_per_pack = 512;
+  // Policy.
+  HwFeatures features = HwFeatures::KernelDesign();
+  double structured_factor = CostModel::kDefaultStructuredFactor;
+  bool async_paging = false;
+  bool close_zero_page_channel = false;
+  uint64_t root_quota = 1u << 20;
+  Label root_label = Label::SystemLow();
+  // Default: world-usable root, so examples/tests can build a hierarchy.
+  // A hardened installation narrows this (see examples/secure_file_service).
+  Acl root_acl = [] {
+    Acl acl;
+    acl.Add(AclEntry{"*", "*", AccessModes::RW()});
+    return acl;
+  }();
+  uint64_t secret = 0x6d756c74696373ULL;  // per-boot secret for mythical ids
+};
+
+class Kernel {
+ public:
+  explicit Kernel(const KernelConfig& config);
+  ~Kernel();
+
+  // Staged bring-up: core segments -> virtual processors -> disk -> paging ->
+  // quota -> segments/address spaces -> directories -> user processes.
+  Status Boot();
+  bool booted() const { return booted_; }
+
+  // The declared dependency structure of the new design, with every edge
+  // annotated by its kind.  Tests check it is loop-free and that the runtime
+  // call structure stays inside it.
+  static DependencyGraph DeclaredLattice();
+
+  // The integrity auditor: a machine-checkable slice of the paper's
+  // "two or more small, expert teams of programmers can be assigned to be
+  // auditors" prong.  Sweeps the kernel's cross-module data structures for
+  // inconsistencies; an empty report is the expected (audited) state at
+  // quiescence.
+  std::vector<std::string> AuditIntegrity();
+
+  // Orderly shutdown: severs every address space, deactivates every segment
+  // (flushing resident pages home), and writes every cached quota cell back
+  // to its pack, so the on-disk image is self-consistent.
+  Status Shutdown();
+
+  // Makes a gate-call context for a user-domain subject.
+  ProcContext MakeContext(ProcessId pid, const Subject& subject) const;
+
+  const KernelConfig& config() const { return config_; }
+  KernelContext& ctx() { return *ctx_; }
+  Metrics& metrics() { return ctx_->metrics; }
+  Clock& clock() { return ctx_->clock; }
+  CallTracker& tracker() { return ctx_->tracker; }
+
+  CoreSegmentManager& core_segments() { return *core_segs_; }
+  VirtualProcessorManager& vprocs() { return *vpm_; }
+  PageFrameManager& page_frames() { return *pfm_; }
+  QuotaCellManager& quota_cells() { return *quota_; }
+  SegmentManager& segments() { return *segs_; }
+  AddressSpaceManager& address_spaces() { return *spaces_; }
+  KnownSegmentManager& known_segments() { return *ksm_; }
+  DirectoryManager& directories() { return *dirs_; }
+  UserProcessManager& processes() { return *uproc_; }
+  KernelGates& gates() { return *gates_; }
+
+ private:
+  KernelConfig config_;
+  std::unique_ptr<KernelContext> ctx_;
+  std::unique_ptr<CoreSegmentManager> core_segs_;
+  std::unique_ptr<VirtualProcessorManager> vpm_;
+  std::unique_ptr<QuotaCellManager> quota_;
+  std::unique_ptr<PageFrameManager> pfm_;
+  std::unique_ptr<SegmentManager> segs_;
+  std::unique_ptr<AddressSpaceManager> spaces_;
+  std::unique_ptr<KnownSegmentManager> ksm_;
+  std::unique_ptr<DirectoryManager> dirs_;
+  std::unique_ptr<KernelGates> gates_;
+  std::unique_ptr<UserProcessManager> uproc_;
+  bool booted_ = false;
+};
+
+}  // namespace mks
+
+#endif  // MKS_KERNEL_KERNEL_H_

@@ -1,0 +1,194 @@
+#include "src/kernel/known_segment.h"
+
+namespace mks {
+
+KnownSegmentManager::KnownSegmentManager(KernelContext* ctx, SegmentManager* segs,
+                                         AddressSpaceManager* spaces)
+    : ctx_(ctx),
+      self_(ctx->tracker.Register(module_names::kKnownSegment)),
+      segs_(segs),
+      spaces_(spaces) {}
+
+Status KnownSegmentManager::CreateKst(ProcessId pid) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  if (ksts_.count(pid) != 0) {
+    return Status(Code::kAlreadyExists, "KST exists");
+  }
+  MKS_RETURN_IF_ERROR(spaces_->CreateSpace(pid));
+  DescriptorSegment* ds = spaces_->Space(pid);
+  kst_size_ = static_cast<uint16_t>(ds->sdws.size());
+  Kst kst;
+  kst.entries.assign(kst_size_, KstEntry{});
+  ksts_.emplace(pid, std::move(kst));
+  return Status::Ok();
+}
+
+Status KnownSegmentManager::DestroyKst(ProcessId pid) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  auto it = ksts_.find(pid);
+  if (it == ksts_.end()) {
+    return Status(Code::kNotFound, "no KST");
+  }
+  MKS_RETURN_IF_ERROR(spaces_->DestroySpace(pid));
+  ksts_.erase(it);
+  return Status::Ok();
+}
+
+Result<Segno> KnownSegmentManager::Initiate(ProcessId pid, const SegmentHome& home,
+                                            AccessModes modes, uint8_t ring_bracket) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  ctx_->cost.Charge(CodeStyle::kStructured, Costs::kProcedureCall * 2);
+  auto it = ksts_.find(pid);
+  if (it == ksts_.end()) {
+    return Status(Code::kNotFound, "no KST for process");
+  }
+  Kst& kst = it->second;
+  // Re-initiating the same segment returns the existing binding.
+  for (uint16_t i = 0; i < kst.entries.size(); ++i) {
+    if (kst.entries[i].valid && kst.entries[i].home.uid == home.uid) {
+      return Segno(static_cast<uint16_t>(kSystemSegnoLimit + i));
+    }
+  }
+  for (uint16_t i = 0; i < kst.entries.size(); ++i) {
+    if (!kst.entries[i].valid) {
+      kst.entries[i] = KstEntry{true, home, modes, ring_bracket};
+      ctx_->metrics.Inc("ksm.initiates");
+      return Segno(static_cast<uint16_t>(kSystemSegnoLimit + i));
+    }
+  }
+  return Status(Code::kResourceExhausted, "known segment table full");
+}
+
+Status KnownSegmentManager::Terminate(ProcessId pid, Segno segno) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  KstEntry* entry = Find(pid, segno);
+  if (entry == nullptr || !entry->valid) {
+    return Status(Code::kInvalidSegno, "segment not known");
+  }
+  DescriptorSegment* ds = spaces_->Space(pid);
+  const uint16_t index = static_cast<uint16_t>(segno.value - kSystemSegnoLimit);
+  if (ds != nullptr && ds->sdws[index].present) {
+    MKS_RETURN_IF_ERROR(spaces_->Disconnect(pid, segno));
+  }
+  *entry = KstEntry{};
+  ctx_->metrics.Inc("ksm.terminates");
+  return Status::Ok();
+}
+
+const KstEntry* KnownSegmentManager::Lookup(ProcessId pid, Segno segno) const {
+  auto it = ksts_.find(pid);
+  if (it == ksts_.end() || segno.value < kSystemSegnoLimit) {
+    return nullptr;
+  }
+  const uint16_t index = static_cast<uint16_t>(segno.value - kSystemSegnoLimit);
+  if (index >= it->second.entries.size() || !it->second.entries[index].valid) {
+    return nullptr;
+  }
+  return &it->second.entries[index];
+}
+
+Result<Segno> KnownSegmentManager::SegnoOf(ProcessId pid, SegmentUid uid) const {
+  auto it = ksts_.find(pid);
+  if (it == ksts_.end()) {
+    return Status(Code::kNotFound, "no KST");
+  }
+  for (uint16_t i = 0; i < it->second.entries.size(); ++i) {
+    if (it->second.entries[i].valid && it->second.entries[i].home.uid == uid) {
+      return Segno(static_cast<uint16_t>(kSystemSegnoLimit + i));
+    }
+  }
+  return Status(Code::kNotFound, "segment not known to process");
+}
+
+KstEntry* KnownSegmentManager::Find(ProcessId pid, Segno segno) {
+  auto it = ksts_.find(pid);
+  if (it == ksts_.end() || segno.value < kSystemSegnoLimit) {
+    return nullptr;
+  }
+  const uint16_t index = static_cast<uint16_t>(segno.value - kSystemSegnoLimit);
+  if (index >= it->second.entries.size()) {
+    return nullptr;
+  }
+  return &it->second.entries[index];
+}
+
+Status KnownSegmentManager::HandleSegmentFault(ProcessId pid, Segno segno) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  ctx_->cost.Charge(CodeStyle::kStructured, Costs::kFaultEntry);
+  KstEntry* entry = Find(pid, segno);
+  if (entry == nullptr || !entry->valid) {
+    return Status(Code::kInvalidSegno, "segment fault on unknown segment");
+  }
+  const SegmentHome& home = entry->home;
+  MKS_ASSIGN_OR_RETURN(uint32_t ast,
+                       segs_->EnsureActive(home.uid, home.pack, home.vtoc, home.quota_cell));
+  MKS_RETURN_IF_ERROR(spaces_->Connect(pid, segno, ast, entry->modes, entry->ring_bracket));
+  ctx_->metrics.Inc("ksm.segment_faults");
+  return Status::Ok();
+}
+
+Status KnownSegmentManager::HandleMissingPage(ProcessId pid, Segno segno, uint32_t page,
+                                              WaitSpec* wait) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  KstEntry* entry = Find(pid, segno);
+  if (entry == nullptr || !entry->valid) {
+    return Status(Code::kInvalidSegno, "page fault on unknown segment");
+  }
+  const uint32_t ast = segs_->FindIndex(entry->home.uid);
+  if (ast == kNoAst) {
+    // The segment was deactivated between the SDW check and now; the caller
+    // will re-fault as a missing segment.
+    return HandleSegmentFault(pid, segno);
+  }
+  return segs_->ServiceMissingPage(ast, page, pid, wait);
+}
+
+void KnownSegmentManager::RehomeEverywhere(SegmentUid uid, PackId pack, VtocIndex vtoc) {
+  for (auto& [pid, kst] : ksts_) {
+    for (KstEntry& entry : kst.entries) {
+      if (entry.valid && entry.home.uid == uid) {
+        entry.home.pack = pack;
+        entry.home.vtoc = vtoc;
+      }
+    }
+  }
+}
+
+Status KnownSegmentManager::HandleQuotaException(ProcessId pid, Segno segno, uint32_t page,
+                                                 MoveSignal* signal, WaitSpec* wait) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  ctx_->cost.Charge(CodeStyle::kStructured, Costs::kFaultEntry);
+  ctx_->metrics.Inc("ksm.quota_exceptions");
+  (void)wait;
+  KstEntry* entry = Find(pid, segno);
+  if (entry == nullptr || !entry->valid) {
+    return Status(Code::kInvalidSegno, "quota exception on unknown segment");
+  }
+  SegmentHome& home = entry->home;
+  MKS_ASSIGN_OR_RETURN(uint32_t ast,
+                       segs_->EnsureActive(home.uid, home.pack, home.vtoc, home.quota_cell));
+  Status grown = segs_->GrowSegment(ast, page);
+  if (grown.ok()) {
+    return Status::Ok();
+  }
+  if (grown.code() != Code::kPackFull) {
+    return grown;  // e.g. quota_overflow, reported to the user
+  }
+
+  // Full pack: sever every address space, direct the move, retry the growth
+  // on the new pack, and hand the new home upward for the directory update.
+  ctx_->metrics.Inc("ksm.full_pack_moves");
+  spaces_->DisconnectEverywhere(home.uid);
+  MKS_ASSIGN_OR_RETURN(SegmentManager::NewHome new_home, segs_->Relocate(ast));
+  RehomeEverywhere(home.uid, new_home.pack, new_home.vtoc);
+  MKS_RETURN_IF_ERROR(segs_->GrowSegment(ast, page));
+  if (signal != nullptr) {
+    signal->valid = true;
+    signal->uid = home.uid;
+    signal->new_pack = new_home.pack;
+    signal->new_vtoc = new_home.vtoc;
+  }
+  return Status::Ok();
+}
+
+}  // namespace mks

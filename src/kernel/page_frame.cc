@@ -1,0 +1,380 @@
+#include "src/kernel/page_frame.h"
+
+#include <cassert>
+
+namespace mks {
+
+PageFrameManager::PageFrameManager(KernelContext* ctx, CoreSegmentManager* core_segs,
+                                   QuotaCellManager* quota, VirtualProcessorManager* vpm)
+    : ctx_(ctx),
+      self_(ctx->tracker.Register(module_names::kPageFrame)),
+      core_segs_(core_segs),
+      quota_(quota),
+      vpm_(vpm) {}
+
+Status PageFrameManager::Init() {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  first_frame_ = core_segs_->FirstPageableFrame();
+  frame_limit_ = ctx_->memory.frame_count();
+  if (first_frame_ >= frame_limit_) {
+    return Status(Code::kResourceExhausted, "no pageable frames left");
+  }
+  frames_.assign(frame_limit_ - first_frame_, FrameInfo{});
+  free_list_.clear();
+  for (uint32_t f = frame_limit_; f > first_frame_; --f) {
+    free_list_.push_back(FrameIndex(f - 1));
+  }
+  return Status::Ok();
+}
+
+Result<FrameIndex> PageFrameManager::AcquireFrame() {
+  if (!free_list_.empty()) {
+    FrameIndex frame = free_list_.back();
+    free_list_.pop_back();
+    info(frame).state = FrameState::kInUse;
+    return frame;
+  }
+  // Clock replacement over the pageable region.
+  const uint32_t n = static_cast<uint32_t>(frames_.size());
+  for (uint32_t step = 0; step < 2 * n; ++step) {
+    const uint32_t slot = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % n;
+    FrameInfo& fi = frames_[slot];
+    if (fi.state != FrameState::kInUse || fi.pt == nullptr) {
+      continue;
+    }
+    Ptw& ptw = fi.pt->ptws[fi.page];
+    if (ptw.locked) {
+      continue;  // a fault is in service on this page
+    }
+    if (ptw.used) {
+      ptw.used = false;  // second chance
+      continue;
+    }
+    const FrameIndex victim(first_frame_ + slot);
+    ctx_->metrics.Inc("pfm.evictions");
+    MKS_RETURN_IF_ERROR(CleanAndRelease(victim));
+    FrameIndex frame = free_list_.back();
+    free_list_.pop_back();
+    info(frame).state = FrameState::kInUse;
+    return frame;
+  }
+  ctx_->metrics.Inc("pfm.no_evictable_frame");
+  return Status(Code::kResourceExhausted, "no evictable page frame");
+}
+
+Status PageFrameManager::CleanAndRelease(FrameIndex frame) {
+  FrameInfo& fi = info(frame);
+  assert(fi.state == FrameState::kInUse && fi.pt != nullptr);
+  Ptw& ptw = fi.pt->ptws[fi.page];
+  VtocEntry* entry = ctx_->volumes.pack(fi.pack)->GetVtoc(fi.vtoc);
+  if (entry == nullptr) {
+    return Status(Code::kInternal, "VTOC entry vanished under a resident page");
+  }
+  FileMapEntry& fm = entry->file_map[fi.page];
+
+  if (ptw.modified) {
+    // The page-removal algorithm must scan the page for the zero-page
+    // optimization — the (otherwise unnecessary) access to all data the
+    // paper calls out.
+    const bool zero = ctx_->memory.FrameIsZero(frame);
+    if (zero && !retain_zero_records_) {
+      if (fm.allocated) {
+        ctx_->volumes.pack(fi.pack)->FreeRecord(fm.record);
+        fm.allocated = false;
+      }
+      fm.zero = true;
+      if (fi.cell.value != UINT32_MAX) {
+        // The accounting write a mere read may ultimately have caused.
+        (void)quota_->Refund(fi.cell, 1);
+      }
+      ctx_->metrics.Inc("pfm.zero_reclaims");
+    } else if (zero && retain_zero_records_) {
+      // Channel-closed mode: keep the record and the charge; remember the
+      // zero content so re-touch avoids the disk read.
+      fm.zero = true;
+      ctx_->metrics.Inc("pfm.zero_retained");
+    } else {
+      assert(fm.allocated);
+      fm.zero = false;
+      ctx_->volumes.pack(fi.pack)->WriteRecord(fm.record, ctx_->memory.FrameSpan(frame));
+      ctx_->metrics.Inc("pfm.writebacks");
+    }
+  }
+  ptw.in_core = false;
+  ptw.used = false;
+  ptw.modified = false;
+  fi = FrameInfo{};
+  free_list_.push_back(frame);
+  return Status::Ok();
+}
+
+Status PageFrameManager::ServiceMissingPage(PageTable* pt, uint32_t page, PackId pack,
+                                            VtocIndex vtoc, QuotaCellId cell,
+                                            EventcountId seg_ec, ProcessId initiator,
+                                            WaitSpec* wait) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  ctx_->cost.Charge(CodeStyle::kStructured, Costs::kFaultEntry);
+  ctx_->metrics.Inc("pfm.faults_serviced");
+  Ptw& ptw = pt->ptws[page];
+  if (ptw.in_core && !ptw.locked) {
+    return Status::Ok();  // another processor already serviced the page
+  }
+  VtocEntry* entry = ctx_->volumes.pack(pack)->GetVtoc(vtoc);
+  if (entry == nullptr) {
+    return Status(Code::kInternal, "missing page for a segment with no VTOC entry");
+  }
+  FileMapEntry& fm = entry->file_map[page];
+  if (!fm.allocated && !fm.zero) {
+    return Status(Code::kInternal, "missing page fault on a never-used page");
+  }
+
+  MKS_ASSIGN_OR_RETURN(FrameIndex frame, AcquireFrame());
+  FrameInfo& fi = info(frame);
+  fi.pt = pt;
+  fi.page = page;
+  fi.pack = pack;
+  fi.vtoc = vtoc;
+  fi.cell = cell;
+  fi.seg_ec = seg_ec;
+
+  if (fm.zero) {
+    // Zero page: no disk read.  If its record was reclaimed, reading it
+    // implicitly writes — a record must be allocated and the quota count
+    // updated, "perhaps on the other side of a protection boundary".
+    ctx_->memory.ZeroFrame(frame);
+    if (!fm.allocated) {
+      if (cell.value != UINT32_MAX) {
+        Status charged = quota_->Charge(cell, 1);
+        if (!charged.ok()) {
+          fi = FrameInfo{};
+          fi.state = FrameState::kFree;
+          free_list_.push_back(frame);
+          return charged;
+        }
+      }
+      auto record = ctx_->volumes.pack(pack)->AllocateRecord();
+      if (!record.ok()) {
+        if (cell.value != UINT32_MAX) {
+          (void)quota_->Refund(cell, 1);
+        }
+        fi = FrameInfo{};
+        fi.state = FrameState::kFree;
+        free_list_.push_back(frame);
+        return record.status();
+      }
+      fm.allocated = true;
+      fm.record = *record;
+      ctx_->metrics.Inc("pfm.zero_page_reallocations");
+    }
+    fm.zero = false;
+    ptw.frame = frame.value;
+    ptw.in_core = true;
+    ptw.locked = false;
+    ptw.modified = true;  // core copy now diverges from the reclaimed record
+    vpm_->Advance(seg_ec);
+    return Status::Ok();
+  }
+
+  if (!async_) {
+    ctx_->volumes.pack(pack)->ReadRecord(fm.record, ctx_->memory.FrameSpan(frame));
+    ptw.frame = frame.value;
+    ptw.in_core = true;
+    ptw.locked = false;
+    vpm_->Advance(seg_ec);
+    return Status::Ok();
+  }
+
+  // Asynchronous read: leave the descriptor locked, post the transfer, and
+  // tell the caller what to await.
+  ptw.locked = true;
+  fi.state = FrameState::kIoInProgress;
+  ++pending_reads_;
+  const RecordIndex record = fm.record;
+  ctx_->events.Schedule(ctx_->clock.now() + Costs::kDiskReadLatency,
+                        [this, frame, initiator]() {
+                          completions_.push_back(Completion{frame, initiator});
+                        });
+  ctx_->metrics.Inc("pfm.async_reads");
+  (void)record;
+  if (wait != nullptr) {
+    wait->valid = true;
+    wait->ec = seg_ec;
+    wait->target = ctx_->eventcounts.Read(seg_ec) + 1;
+  }
+  return Status(Code::kBlocked, "page read posted");
+}
+
+bool PageFrameManager::PageIoDaemonStep() {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  bool did_work = false;
+  while (!completions_.empty()) {
+    const Completion completion = completions_.front();
+    completions_.pop_front();
+    --pending_reads_;
+    FrameInfo& fi = info(completion.frame);
+    if (fi.state != FrameState::kIoInProgress || fi.pt == nullptr) {
+      continue;  // the segment was deactivated while the read was in flight
+    }
+    VtocEntry* entry = ctx_->volumes.pack(fi.pack)->GetVtoc(fi.vtoc);
+    if (entry != nullptr) {
+      // The transfer latency already elapsed in simulated time; copy the
+      // data without re-charging it.
+      const FileMapEntry& fm = entry->file_map[fi.page];
+      auto span = ctx_->memory.FrameSpan(completion.frame);
+      ctx_->volumes.pack(fi.pack)->CopyRecord(fm.record, span);
+    }
+    Ptw& ptw = fi.pt->ptws[fi.page];
+    ptw.frame = completion.frame.value;
+    ptw.in_core = true;
+    ptw.locked = false;  // unlock the descriptor
+    fi.state = FrameState::kInUse;
+    ctx_->cost.Charge(CodeStyle::kStructured, Costs::kProcedureCall);
+    // Notify every waiter: level-1 vps via the eventcount, the parked user
+    // process via the real-memory queue.
+    vpm_->Advance(fi.seg_ec);
+    if (upward_queue_ != nullptr && completion.initiator.value != 0) {
+      (void)upward_queue_->Push(
+          UpwardMessage{completion.initiator, /*code=*/1, /*payload=*/fi.page});
+    }
+    ctx_->metrics.Inc("pfm.io_completions");
+    did_work = true;
+  }
+  return did_work;
+}
+
+Status PageFrameManager::AddPage(PageTable* pt, uint32_t page, PackId pack, VtocIndex vtoc,
+                                 QuotaCellId cell, EventcountId seg_ec) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  ctx_->cost.Charge(CodeStyle::kStructured, Costs::kProcedureCall);
+  VtocEntry* entry = ctx_->volumes.pack(pack)->GetVtoc(vtoc);
+  if (entry == nullptr) {
+    return Status(Code::kInvalidArgument, "no VTOC entry for segment");
+  }
+  if (page >= entry->file_map.size()) {
+    return Status(Code::kOutOfBounds, "page beyond maximum segment length");
+  }
+  FileMapEntry& fm = entry->file_map[page];
+  if (fm.allocated || fm.zero) {
+    return Status(Code::kFailedPrecondition, "page already exists");
+  }
+  // Allocate the record eagerly: the full-pack exception is detected here,
+  // "at the end of this call chain", and reported back up as a status.
+  MKS_ASSIGN_OR_RETURN(RecordIndex record, ctx_->volumes.pack(pack)->AllocateRecord());
+  MKS_ASSIGN_OR_RETURN(FrameIndex frame, AcquireFrame());
+  fm.allocated = true;
+  fm.zero = false;
+  fm.record = record;
+
+  FrameInfo& fi = info(frame);
+  fi.pt = pt;
+  fi.page = page;
+  fi.pack = pack;
+  fi.vtoc = vtoc;
+  // The governing cell rides along so a later zero-page reclaim of this page
+  // refunds the same books that were charged for its growth.
+  fi.cell = cell;
+  fi.seg_ec = seg_ec;
+
+  ctx_->memory.ZeroFrame(frame);
+  Ptw& ptw = pt->ptws[page];
+  ptw.frame = frame.value;
+  ptw.in_core = true;
+  ptw.unallocated = false;
+  ptw.locked = false;
+  ptw.used = true;
+  ptw.modified = false;
+  ctx_->metrics.Inc("pfm.pages_added");
+  return Status::Ok();
+}
+
+Status PageFrameManager::EvictPage(PageTable* pt, uint32_t page, PackId pack, VtocIndex vtoc,
+                                   QuotaCellId cell, EventcountId seg_ec) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  Ptw& ptw = pt->ptws[page];
+  if (!ptw.in_core) {
+    return Status::Ok();
+  }
+  if (ptw.locked) {
+    return Status(Code::kFailedPrecondition, "page is in fault service");
+  }
+  const FrameIndex frame(ptw.frame);
+  FrameInfo& fi = info(frame);
+  // Refresh home coordinates (the caller is authoritative).
+  fi.pack = pack;
+  fi.vtoc = vtoc;
+  fi.cell = cell;
+  fi.seg_ec = seg_ec;
+  return CleanAndRelease(frame);
+}
+
+void PageFrameManager::AuditIntegrity(std::vector<std::string>* findings) const {
+  size_t in_use = 0;
+  size_t in_io = 0;
+  for (size_t slot = 0; slot < frames_.size(); ++slot) {
+    const FrameInfo& fi = frames_[slot];
+    const uint32_t frame = first_frame_ + static_cast<uint32_t>(slot);
+    if (fi.state == FrameState::kFree) {
+      continue;
+    }
+    if (fi.state == FrameState::kInUse) {
+      ++in_use;
+    } else {
+      ++in_io;
+    }
+    if (fi.pt == nullptr) {
+      // An in-use frame between AcquireFrame and installation is transient;
+      // seeing one at audit time (quiescence) is a leak.
+      findings->push_back("frame " + std::to_string(frame) + " in use with no page table");
+      continue;
+    }
+    if (fi.state == FrameState::kInUse) {
+      const Ptw& ptw = fi.pt->ptws[fi.page];
+      if (!ptw.in_core) {
+        findings->push_back("frame " + std::to_string(frame) +
+                            " claims a page whose PTW is not in core");
+      } else if (ptw.frame != frame) {
+        findings->push_back("frame " + std::to_string(frame) + " vs PTW frame " +
+                            std::to_string(ptw.frame) + ": cross-link broken");
+      }
+    }
+  }
+  const size_t total = frames_.size();
+  if (free_list_.size() + in_use + in_io != total) {
+    findings->push_back("frame accounting: free " + std::to_string(free_list_.size()) +
+                        " + used " + std::to_string(in_use) + " + io " + std::to_string(in_io) +
+                        " != total " + std::to_string(total));
+  }
+}
+
+bool PageFrameManager::PageWriterStep(size_t max_writes) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  size_t written = 0;
+  for (size_t slot = 0; slot < frames_.size() && written < max_writes; ++slot) {
+    FrameInfo& fi = frames_[slot];
+    if (fi.state != FrameState::kInUse || fi.pt == nullptr) {
+      continue;
+    }
+    Ptw& ptw = fi.pt->ptws[fi.page];
+    if (!ptw.modified || ptw.locked || ptw.used) {
+      continue;  // clean, busy, or recently referenced
+    }
+    VtocEntry* entry = ctx_->volumes.pack(fi.pack)->GetVtoc(fi.vtoc);
+    if (entry == nullptr) {
+      continue;
+    }
+    FileMapEntry& fm = entry->file_map[fi.page];
+    if (!fm.allocated) {
+      continue;  // zero page without a record; leave for eviction-time logic
+    }
+    ctx_->volumes.pack(fi.pack)->WriteRecord(fm.record,
+                                             ctx_->memory.FrameSpan(FrameIndex(
+                                                 first_frame_ + static_cast<uint32_t>(slot))));
+    ptw.modified = false;
+    ctx_->metrics.Inc("pfm.daemon_writes");
+    ++written;
+  }
+  return written > 0;
+}
+
+}  // namespace mks

@@ -1,0 +1,151 @@
+// The page frame manager ("page control" reborn as an object manager).
+//
+// Manages the pageable region of primary memory: services missing-page
+// exceptions, runs clock replacement, performs the zero-page storage
+// optimization, and implements the descriptor-lock wait/notify protocol of
+// the new hardware.  Its position in the lattice is low: it depends on the
+// core segment manager (its maps), disk volume control (its components),
+// the quota cell manager (storage-use accounting by static cell name — never
+// an upward search of the directory hierarchy), and the virtual processor
+// manager (its interpreter, and the wait primitive).
+//
+// Unlike the old page control, it never reaches into segment control's or
+// directory control's data: growth arrives from above (the segment manager)
+// with every needed name already in hand, and a full pack is reported back
+// up as a status, not by reaching around the dependency structure.
+//
+// Two execution modes:
+//  * synchronous — disk latency is charged and the fault completes inline
+//    (used by tests, examples, and most benches);
+//  * asynchronous — reads are posted to the simulated device and completed
+//    by the page-I/O daemon (a kernel task on its own virtual processor);
+//    the faulting user process parks and is re-awakened through the
+//    real-memory message queue, exercising the full two-level protocol.
+#ifndef MKS_KERNEL_PAGE_FRAME_H_
+#define MKS_KERNEL_PAGE_FRAME_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/kernel/quota_cell.h"
+#include "src/kernel/vproc.h"
+#include "src/sync/message_queue.h"
+
+namespace mks {
+
+// Filled when an operation must wait: the eventcount/target pair the caller
+// should await before retrying the reference.
+struct WaitSpec {
+  bool valid = false;
+  EventcountId ec{};
+  uint64_t target = 0;
+};
+
+class PageFrameManager {
+ public:
+  PageFrameManager(KernelContext* ctx, CoreSegmentManager* core_segs, QuotaCellManager* quota,
+                   VirtualProcessorManager* vpm);
+
+  // Takes ownership of every frame above the core segments.
+  Status Init();
+
+  // Wires the upward-signalling path for asynchronous mode.  The queue lives
+  // in a core segment; the manager only ever writes resident words, so this
+  // creates no upward dependency.
+  void SetUpwardQueue(RealMemoryQueue* queue) { upward_queue_ = queue; }
+  void set_async(bool async) { async_ = async; }
+  bool async() const { return async_; }
+  // When true, a page found all-zero at eviction keeps its disk record and
+  // its quota charge: this closes the zero-page covert channel the paper
+  // identifies (a read can no longer cause an accounting write) at the price
+  // of charging for zero pages.
+  void set_retain_zero_records(bool retain) { retain_zero_records_ = retain; }
+
+  // Services a missing-page exception for `page` of the segment whose home is
+  // (pack, vtoc).  `seg_ec` is the segment's page-arrival eventcount;
+  // `initiator` identifies the user process (for the upward message), and is
+  // ProcessId{0} for kernel-internal references.
+  // Sync mode: completes inline.  Async mode: returns kBlocked and fills
+  // *wait; the caller parks until seg_ec reaches wait->target, then retries.
+  Status ServiceMissingPage(PageTable* pt, uint32_t page, PackId pack, VtocIndex vtoc,
+                            QuotaCellId cell, EventcountId seg_ec, ProcessId initiator,
+                            WaitSpec* wait);
+
+  // Adds a never-before-used page to a segment.  Quota has already been
+  // charged by the segment manager; this allocates the disk record eagerly —
+  // so a full pack is detected here, at the bottom of the call chain, and
+  // reported upward as kPackFull.
+  Status AddPage(PageTable* pt, uint32_t page, PackId pack, VtocIndex vtoc, QuotaCellId cell,
+                 EventcountId seg_ec);
+
+  // Evicts one page (used at deactivation): writes back if modified, runs
+  // zero detection, updates the file map and quota.
+  Status EvictPage(PageTable* pt, uint32_t page, PackId pack, VtocIndex vtoc, QuotaCellId cell,
+                   EventcountId seg_ec);
+
+  // The page-I/O daemon body (bound to a kernel virtual processor in async
+  // mode): completes posted reads, unlocks descriptors, advances segment
+  // eventcounts, and pushes upward messages.  Returns true if work was done.
+  bool PageIoDaemonStep();
+
+  // The page-writer daemon body: cleans up to `max_writes` modified resident
+  // pages so that replacement finds clean victims.  Runs at low priority
+  // (idle time); returns true if work was done.
+  bool PageWriterStep(size_t max_writes);
+
+  // Integrity audit: checks frame-table / page-table cross-consistency and
+  // frame accounting; appends one line per finding.  An empty result is what
+  // the paper's code auditors are trying to establish.
+  void AuditIntegrity(std::vector<std::string>* findings) const;
+
+  uint32_t free_frames() const { return static_cast<uint32_t>(free_list_.size()); }
+  uint32_t total_frames() const { return frame_limit_ - first_frame_; }
+  uint64_t pending_io() const { return pending_reads_; }
+
+ private:
+  enum class FrameState : uint8_t { kFree, kInUse, kIoInProgress };
+
+  struct FrameInfo {
+    FrameState state = FrameState::kFree;
+    PageTable* pt = nullptr;
+    uint32_t page = 0;
+    PackId pack{};
+    VtocIndex vtoc{};
+    QuotaCellId cell{};
+    EventcountId seg_ec{};
+  };
+
+  struct Completion {
+    FrameIndex frame{};
+    ProcessId initiator{};
+  };
+
+  // Obtains a frame, evicting via the clock algorithm if necessary.
+  Result<FrameIndex> AcquireFrame();
+  // Writes back (if needed) and releases `frame`; runs zero detection.
+  Status CleanAndRelease(FrameIndex frame);
+  FrameInfo& info(FrameIndex frame) { return frames_[frame.value - first_frame_]; }
+
+  KernelContext* ctx_;
+  ModuleId self_;
+  CoreSegmentManager* core_segs_;
+  QuotaCellManager* quota_;
+  VirtualProcessorManager* vpm_;
+  RealMemoryQueue* upward_queue_ = nullptr;
+
+  uint32_t first_frame_ = 0;
+  uint32_t frame_limit_ = 0;
+  std::vector<FrameInfo> frames_;
+  std::vector<FrameIndex> free_list_;
+  uint32_t clock_hand_ = 0;
+  bool async_ = false;
+  bool retain_zero_records_ = false;
+  uint64_t pending_reads_ = 0;
+  std::deque<Completion> completions_;
+};
+
+}  // namespace mks
+
+#endif  // MKS_KERNEL_PAGE_FRAME_H_

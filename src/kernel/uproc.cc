@@ -1,0 +1,307 @@
+#include "src/kernel/uproc.h"
+
+#include "src/common/hash.h"
+
+namespace mks {
+
+UserProcessManager::UserProcessManager(KernelContext* ctx, CoreSegmentManager* core_segs,
+                                       VirtualProcessorManager* vpm, PageFrameManager* pfm,
+                                       SegmentManager* segs, KnownSegmentManager* ksm,
+                                       KernelGates* gates)
+    : ctx_(ctx),
+      self_(ctx->tracker.Register(module_names::kUserProcess)),
+      core_segs_(core_segs),
+      vpm_(vpm),
+      pfm_(pfm),
+      segs_(segs),
+      ksm_(ksm),
+      gates_(gates) {}
+
+Status UserProcessManager::Init() {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  auto seg = core_segs_->Allocate("upward_message_queue", 1);
+  if (!seg.ok()) {
+    return seg.status();
+  }
+  queue_ = std::make_unique<RealMemoryQueue>(core_segs_->RawSpan(*seg));
+  pfm_->SetUpwardQueue(queue_.get());
+  return Status::Ok();
+}
+
+Result<ProcessId> UserProcessManager::CreateProcess(const Subject& subject) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  ctx_->cost.Charge(CodeStyle::kStructured, Costs::kProcedureCall * 4);
+  const ProcessId pid(next_pid_++);
+  MKS_RETURN_IF_ERROR(ksm_->CreateKst(pid));
+
+  Process proc;
+  proc.pid = pid;
+  proc.ctx.pid = pid;
+  proc.ctx.subject = subject;
+
+  // The process state record lives in an ordinary (pageable) segment outside
+  // the naming hierarchy, initiated ring-0-only in the process's own address
+  // space.
+  const SegmentUid state_uid(
+      Fnv1a64Mix(ctx_->secret ^ 0x70726f63ULL, ++state_uid_counter_) | 1);
+  MKS_ASSIGN_OR_RETURN(PackId pack, ctx_->volumes.ChoosePack());
+  MKS_ASSIGN_OR_RETURN(VtocIndex vtoc,
+                       ctx_->volumes.pack(pack)->AllocateVtoc(state_uid, false));
+  SegmentHome home{state_uid, pack, vtoc, kNoQuotaCell, false};
+  MKS_ASSIGN_OR_RETURN(Segno segno,
+                       ksm_->Initiate(pid, home, AccessModes::RW(), /*ring_bracket=*/0));
+  proc.state_segno = segno;
+
+  procs_.emplace(pid, std::move(proc));
+  ctx_->metrics.Inc("uproc.processes_created");
+  return pid;
+}
+
+Status UserProcessManager::DestroyProcess(ProcessId pid) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) {
+    return Status(Code::kNotFound, "no such process");
+  }
+  if (it->second.bound) {
+    vpm_->ReleaseUserVp(it->second.vp);
+  }
+  // Free the state segment's storage: sever its uses, deactivate, and
+  // release the VTOC entry.
+  const KstEntry* entry = ksm_->Lookup(pid, it->second.state_segno);
+  if (entry != nullptr) {
+    const SegmentHome home = entry->home;
+    MKS_RETURN_IF_ERROR(ksm_->DestroyKst(pid));
+    const uint32_t ast = segs_->FindIndex(home.uid);
+    if (ast != kNoAst) {
+      MKS_RETURN_IF_ERROR(segs_->Deactivate(ast));
+    }
+    ctx_->volumes.pack(home.pack)->FreeVtoc(home.vtoc);
+  } else {
+    MKS_RETURN_IF_ERROR(ksm_->DestroyKst(pid));
+  }
+  procs_.erase(it);
+  return Status::Ok();
+}
+
+Status UserProcessManager::SetProgram(ProcessId pid, std::vector<UserOp> program) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) {
+    return Status(Code::kNotFound, "no such process");
+  }
+  it->second.program = std::move(program);
+  it->second.pc = 0;
+  it->second.state = ProcState::kReady;
+  return Status::Ok();
+}
+
+ProcContext* UserProcessManager::Context(ProcessId pid) {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : &it->second.ctx;
+}
+
+ProcState UserProcessManager::state(ProcessId pid) const {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? ProcState::kAborted : it->second.state;
+}
+
+const ProcessStats& UserProcessManager::stats(ProcessId pid) const {
+  static const ProcessStats kEmpty;
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? kEmpty : it->second.stats;
+}
+
+Status UserProcessManager::SwapStateIn(Process& proc) {
+  // Touch the state record: it may have been paged out, in which case this
+  // faults like any other reference.  The dispatcher runs in ring 0; the
+  // state segment's bracket keeps the user program itself away from it.
+  ProcContext ring0 = proc.ctx;
+  ring0.subject.ring = 0;
+  auto word = gates_->Read(ring0, proc.state_segno, 0);
+  proc.ctx.pending_wait = ring0.pending_wait;
+  if (!word.ok()) {
+    return word.status();
+  }
+  return Status::Ok();
+}
+
+void UserProcessManager::SwapStateOut(Process& proc) {
+  // Record the program counter in the state segment.  A block here is
+  // tolerable: the authoritative pc is re-written at the next save.
+  ProcContext ring0 = proc.ctx;
+  ring0.subject.ring = 0;
+  (void)gates_->Write(ring0, proc.state_segno, 0, proc.pc);
+  (void)gates_->Write(ring0, proc.state_segno, 1, static_cast<Word>(proc.state));
+}
+
+Status UserProcessManager::ExecOneOp(Process& proc) {
+  const UserOp& op = proc.program[proc.pc];
+  switch (op.kind) {
+    case UserOp::Kind::kRead: {
+      auto value = gates_->Read(proc.ctx, op.segno, op.offset);
+      return value.status();
+    }
+    case UserOp::Kind::kWrite:
+      return gates_->Write(proc.ctx, op.segno, op.offset, op.value);
+    case UserOp::Kind::kCompute:
+      ctx_->cost.Charge(CodeStyle::kOptimized, op.compute);
+      return Status::Ok();
+    case UserOp::Kind::kAdvance:
+      return gates_->AdvanceEventcount(proc.ctx, op.ec);
+    case UserOp::Kind::kAwait:
+      return gates_->AwaitEventcount(proc.ctx, op.ec, op.value);
+  }
+  return Status(Code::kInternal, "bad op");
+}
+
+void UserProcessManager::Park(Process& proc) {
+  proc.state = ProcState::kBlocked;
+  ++proc.stats.blocks;
+  if (proc.bound) {
+    SwapStateOut(proc);
+    vpm_->ReleaseUserVp(proc.vp);
+    proc.bound = false;
+  }
+}
+
+void UserProcessManager::Finish(Process& proc, ProcState state, Status why) {
+  proc.state = state;
+  proc.stats.last_error = why;
+  if (proc.bound) {
+    vpm_->ReleaseUserVp(proc.vp);
+    proc.bound = false;
+  }
+}
+
+bool UserProcessManager::SchedulerPass() {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  bool did_work = false;
+
+  // Level-1 activity first: device completions, daemons.
+  ctx_->events.RunDue(ctx_->clock.now());
+  if (vpm_->RunKernelTasks()) {
+    did_work = true;
+  }
+
+  // Drain the real-memory queue: wake parked processes.
+  if (queue_ != nullptr) {
+    while (auto msg = queue_->Pop()) {
+      auto it = procs_.find(msg->dest);
+      if (it != procs_.end() && it->second.state == ProcState::kBlocked) {
+        it->second.state = ProcState::kReady;
+        did_work = true;
+      }
+    }
+  }
+  // Also honor eventcounts that advanced synchronously (no message posted).
+  for (auto& [pid, proc] : procs_) {
+    if (proc.state == ProcState::kBlocked && proc.ctx.pending_wait.valid &&
+        ctx_->eventcounts.Read(proc.ctx.pending_wait.ec) >= proc.ctx.pending_wait.target) {
+      proc.state = ProcState::kReady;
+      did_work = true;
+    }
+  }
+
+  // Dispatch ready processes onto idle virtual processors and run a quantum.
+  for (auto& [pid, proc] : procs_) {
+    if (proc.state != ProcState::kReady) {
+      continue;
+    }
+    auto vp = vpm_->AcquireIdleUserVp();
+    if (!vp.ok()) {
+      break;  // pool exhausted this pass
+    }
+    proc.vp = *vp;
+    proc.bound = true;
+    proc.state = ProcState::kRunning;
+    ++proc.stats.dispatches;
+    ctx_->cost.Charge(CodeStyle::kStructured, Costs::kProcessSwitch);
+    did_work = true;
+
+    Status in = SwapStateIn(proc);
+    if (in.code() == Code::kBlocked) {
+      Park(proc);
+      continue;
+    }
+    if (!in.ok()) {
+      Finish(proc, ProcState::kAborted, in);
+      continue;
+    }
+
+    const VpId vp_used = proc.vp;
+    const Cycles start = ctx_->clock.now();
+    for (uint32_t n = 0; n < quantum_ && proc.pc < proc.program.size(); ++n) {
+      // User code runs in the user domain; its references enter the kernel
+      // afresh through the fault dispatcher.
+      CallTracker::SignalScope user_domain(&ctx_->tracker);
+      Status st = ExecOneOp(proc);
+      if (st.ok()) {
+        ++proc.pc;
+        ++proc.stats.ops_executed;
+        continue;
+      }
+      if (st.code() == Code::kBlocked) {
+        break;  // pending_wait already recorded in the context
+      }
+      Finish(proc, ProcState::kAborted, st);
+      break;
+    }
+    proc.stats.cpu_cycles += ctx_->clock.now() - start;
+    vpm_->AccrueBusy(vp_used, ctx_->clock.now() - start);
+
+    if (proc.state != ProcState::kRunning) {
+      continue;  // aborted above
+    }
+    if (proc.pc >= proc.program.size()) {
+      Finish(proc, ProcState::kDone, Status::Ok());
+    } else if (proc.ctx.pending_wait.valid &&
+               ctx_->eventcounts.Read(proc.ctx.pending_wait.ec) < proc.ctx.pending_wait.target) {
+      Park(proc);
+    } else {
+      // Quantum expired (or the wait already resolved): back to ready.
+      proc.state = ProcState::kReady;
+      SwapStateOut(proc);
+      vpm_->ReleaseUserVp(proc.vp);
+      proc.bound = false;
+    }
+  }
+  return did_work;
+}
+
+Status UserProcessManager::RunUntilQuiescent(uint64_t max_passes) {
+  for (uint64_t pass = 0; pass < max_passes; ++pass) {
+    if (AllDone()) {
+      return Status::Ok();
+    }
+    const bool did_work = SchedulerPass();
+    if (!did_work) {
+      if (!ctx_->events.empty()) {
+        // Every process is blocked on the device: the machine idles forward.
+        const Cycles due = ctx_->events.next_due();
+        if (due > ctx_->clock.now()) {
+          ctx_->metrics.Inc("uproc.idle_cycles", due - ctx_->clock.now());
+          ctx_->clock.Advance(due - ctx_->clock.now());
+        }
+        ctx_->events.RunDue(ctx_->clock.now());
+        continue;
+      }
+      if (AllDone()) {
+        return Status::Ok();
+      }
+      return Status(Code::kFailedPrecondition, "scheduler quiesced with runnable work pending");
+    }
+  }
+  return AllDone() ? Status::Ok()
+                   : Status(Code::kResourceExhausted, "scheduler pass budget exhausted");
+}
+
+bool UserProcessManager::AllDone() const {
+  for (const auto& [pid, proc] : procs_) {
+    if (proc.state != ProcState::kDone && proc.state != ProcState::kAborted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mks

@@ -1,0 +1,132 @@
+// The user process manager: level 2 of the two-level process implementation.
+//
+// An arbitrary number of user processes is multiplexed over the fixed pool of
+// virtual processors.  Process state records live in ordinary segments — in
+// virtual memory, which is exactly why level 1 cannot signal them directly:
+// the state of the receiving process is not guaranteed to be in real memory.
+// Reed's cure is wired through here: the page-I/O daemon (level 1) pushes a
+// message into the real-memory queue, and this scheduler drains the queue,
+// re-readies the parked process, and re-dispatches it.
+//
+// Simulated user programs are op-lists (read/write/compute).  An op that
+// faults re-enters through the gate layer's dispatcher; a kBlocked result
+// parks the process and frees its virtual processor for another process.
+#ifndef MKS_KERNEL_UPROC_H_
+#define MKS_KERNEL_UPROC_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/kernel/gates.h"
+#include "src/sync/message_queue.h"
+
+namespace mks {
+
+struct UserOp {
+  enum class Kind : uint8_t { kRead, kWrite, kCompute, kAdvance, kAwait };
+  Kind kind = Kind::kCompute;
+  Segno segno{};
+  uint32_t offset = 0;
+  Word value = 0;
+  Cycles compute = 0;
+  EventcountId ec{};
+
+  static UserOp Read(Segno segno, uint32_t offset) {
+    return UserOp{Kind::kRead, segno, offset, 0, 0, {}};
+  }
+  static UserOp Write(Segno segno, uint32_t offset, Word value) {
+    return UserOp{Kind::kWrite, segno, offset, value, 0, {}};
+  }
+  static UserOp Compute(Cycles cycles) {
+    return UserOp{Kind::kCompute, Segno{}, 0, 0, cycles, {}};
+  }
+  static UserOp Advance(EventcountId ec) {
+    return UserOp{Kind::kAdvance, Segno{}, 0, 0, 0, ec};
+  }
+  // Await the eventcount reaching `value`.
+  static UserOp Await(EventcountId ec, uint64_t target) {
+    return UserOp{Kind::kAwait, Segno{}, 0, target, 0, ec};
+  }
+};
+
+enum class ProcState : uint8_t { kReady, kRunning, kBlocked, kDone, kAborted };
+
+struct ProcessStats {
+  Cycles cpu_cycles = 0;
+  uint64_t ops_executed = 0;
+  uint64_t blocks = 0;
+  uint64_t dispatches = 0;
+  Status last_error;
+};
+
+class UserProcessManager {
+ public:
+  UserProcessManager(KernelContext* ctx, CoreSegmentManager* core_segs,
+                     VirtualProcessorManager* vpm, PageFrameManager* pfm, SegmentManager* segs,
+                     KnownSegmentManager* ksm, KernelGates* gates);
+
+  // Builds the real-memory message queue in a core segment and hands it to
+  // the page frame manager's level-1 side.
+  Status Init();
+
+  Result<ProcessId> CreateProcess(const Subject& subject);
+  Status DestroyProcess(ProcessId pid);
+
+  Status SetProgram(ProcessId pid, std::vector<UserOp> program);
+  ProcContext* Context(ProcessId pid);
+  ProcState state(ProcessId pid) const;
+  const ProcessStats& stats(ProcessId pid) const;
+
+  // Ops each dispatched process may run before being preempted.
+  void set_quantum(uint32_t quantum) { quantum_ = quantum; }
+
+  // Runs the two-level scheduler until every process is done/aborted or
+  // `max_passes` scheduler passes elapse.  Returns kOk on quiescence.
+  Status RunUntilQuiescent(uint64_t max_passes);
+  bool AllDone() const;
+
+  RealMemoryQueue* queue() { return queue_.get(); }
+  size_t process_count() const { return procs_.size(); }
+
+ private:
+  struct Process {
+    ProcessId pid{};
+    ProcContext ctx;
+    ProcState state = ProcState::kReady;
+    std::vector<UserOp> program;
+    size_t pc = 0;
+    VpId vp{};
+    bool bound = false;
+    Segno state_segno{};
+    ProcessStats stats;
+  };
+
+  // One scheduler pass: kernel tasks, message drain, dispatch, execution.
+  bool SchedulerPass();
+  void Park(Process& proc);
+  void Finish(Process& proc, ProcState state, Status why);
+  Status ExecOneOp(Process& proc);
+  // Saves/restores the process state record through the paging machinery —
+  // the honest "states live in virtual memory" dependency.
+  Status SwapStateIn(Process& proc);
+  void SwapStateOut(Process& proc);
+
+  KernelContext* ctx_;
+  ModuleId self_;
+  CoreSegmentManager* core_segs_;
+  VirtualProcessorManager* vpm_;
+  PageFrameManager* pfm_;
+  SegmentManager* segs_;
+  KnownSegmentManager* ksm_;
+  KernelGates* gates_;
+  std::unique_ptr<RealMemoryQueue> queue_;
+  std::unordered_map<ProcessId, Process> procs_;
+  uint32_t next_pid_ = 1;
+  uint32_t quantum_ = 16;
+  uint64_t state_uid_counter_ = 0;
+};
+
+}  // namespace mks
+
+#endif  // MKS_KERNEL_UPROC_H_

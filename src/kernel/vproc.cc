@@ -1,0 +1,158 @@
+#include "src/kernel/vproc.h"
+
+#include <cassert>
+
+namespace mks {
+
+namespace {
+// State-record layout in the core segment: a full processor state (register
+// frame, descriptor-base values, a small kernel stack) per vp.  The size is
+// what makes "every vp state permanently in the fastest memory" a real cost.
+constexpr uint32_t kStateRecordWords = 256;
+}  // namespace
+
+VirtualProcessorManager::VirtualProcessorManager(KernelContext* ctx,
+                                                 CoreSegmentManager* core_segs)
+    : ctx_(ctx),
+      self_(ctx->tracker.Register(module_names::kVproc)),
+      core_segs_(core_segs) {}
+
+Status VirtualProcessorManager::Init(uint16_t vp_count) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  const uint32_t words = vp_count * kStateRecordWords;
+  const uint32_t pages = (words + kPageWords - 1) / kPageWords;
+  auto seg = core_segs_->Allocate("vp_states", pages == 0 ? 1 : pages);
+  if (!seg.ok()) {
+    return seg.status();
+  }
+  state_seg_ = *seg;
+  vps_.assign(vp_count, Vp{});
+  for (uint16_t i = 0; i < vp_count; ++i) {
+    StoreState(VpId(i));
+  }
+  ctx_->metrics.Inc("vproc.pool_size", vp_count);
+  return Status::Ok();
+}
+
+void VirtualProcessorManager::StoreState(VpId vp) {
+  // The state record lives in permanently-resident core; writing it can
+  // never fault.  This is the property that breaks the interpreter loop.
+  const Vp& v = vps_[vp.value];
+  const uint32_t base = vp.value * kStateRecordWords;
+  (void)core_segs_->WriteWord(state_seg_, base, static_cast<Word>(v.state));
+  (void)core_segs_->WriteWord(state_seg_, base + 1, v.kernel_bound ? 1 : 0);
+}
+
+Result<VpId> VirtualProcessorManager::BindKernelTask(std::string name, KernelTask task) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  for (uint16_t i = 0; i < vps_.size(); ++i) {
+    Vp& v = vps_[i];
+    if (!v.kernel_bound && v.state == VpState::kIdle) {
+      v.kernel_bound = true;
+      v.name = std::move(name);
+      v.task = std::move(task);
+      v.state = VpState::kReady;
+      StoreState(VpId(i));
+      return VpId(i);
+    }
+  }
+  return Status(Code::kResourceExhausted, "virtual processor pool exhausted");
+}
+
+std::vector<VpId> VirtualProcessorManager::UserPool() const {
+  std::vector<VpId> pool;
+  for (uint16_t i = 0; i < vps_.size(); ++i) {
+    if (!vps_[i].kernel_bound) {
+      pool.push_back(VpId(i));
+    }
+  }
+  return pool;
+}
+
+Result<VpId> VirtualProcessorManager::AcquireIdleUserVp() {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  const uint16_t n = static_cast<uint16_t>(vps_.size());
+  for (uint16_t step = 0; step < n; ++step) {
+    const uint16_t i = static_cast<uint16_t>((acquire_cursor_ + step) % n);
+    Vp& v = vps_[i];
+    if (!v.kernel_bound && v.state == VpState::kIdle) {
+      acquire_cursor_ = static_cast<uint16_t>((i + 1) % n);
+      v.state = VpState::kRunning;
+      StoreState(VpId(i));
+      ctx_->cost.Charge(CodeStyle::kStructured, Costs::kVpSwitch);
+      ctx_->metrics.Inc("vproc.dispatches");
+      return VpId(i);
+    }
+  }
+  return Status(Code::kResourceExhausted, "no idle virtual processor");
+}
+
+void VirtualProcessorManager::ReleaseUserVp(VpId vp) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  Vp& v = vps_[vp.value];
+  assert(!v.kernel_bound);
+  v.state = VpState::kIdle;
+  StoreState(vp);
+}
+
+bool VirtualProcessorManager::Await(VpId vp, EventcountId ec, uint64_t target) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  if (ctx_->eventcounts.AwaitOrEnqueue(ec, target, vp)) {
+    return true;
+  }
+  vps_[vp.value].state = VpState::kWaiting;
+  StoreState(vp);
+  return false;
+}
+
+void VirtualProcessorManager::Advance(EventcountId ec) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  for (VpId vp : ctx_->eventcounts.Advance(ec)) {
+    Vp& v = vps_[vp.value];
+    v.state = v.kernel_bound ? VpState::kReady : VpState::kIdle;
+    StoreState(vp);
+  }
+}
+
+bool VirtualProcessorManager::RunKernelTasks() {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  bool any_work = false;
+  for (uint16_t i = 0; i < vps_.size(); ++i) {
+    Vp& v = vps_[i];
+    if (v.kernel_bound && v.state == VpState::kReady) {
+      v.state = VpState::kRunning;
+      ctx_->cost.Charge(CodeStyle::kStructured, Costs::kVpSwitch);
+      const bool did_work = v.task();
+      any_work = any_work || did_work;
+      if (v.state == VpState::kRunning) {
+        v.state = VpState::kReady;
+      }
+      StoreState(VpId(i));
+    }
+  }
+  return any_work;
+}
+
+VpState VirtualProcessorManager::state(VpId vp) const { return vps_[vp.value].state; }
+
+const std::string& VirtualProcessorManager::task_name(VpId vp) const {
+  return vps_[vp.value].name;
+}
+
+bool VirtualProcessorManager::IsKernelVp(VpId vp) const { return vps_[vp.value].kernel_bound; }
+
+void VirtualProcessorManager::AccrueBusy(VpId vp, Cycles cycles) {
+  vps_[vp.value].busy += cycles;
+}
+
+Cycles VirtualProcessorManager::busy(VpId vp) const { return vps_[vp.value].busy; }
+
+Cycles VirtualProcessorManager::MaxBusy() const {
+  Cycles max_busy = 0;
+  for (const Vp& vp : vps_) {
+    max_busy = vp.busy > max_busy ? vp.busy : max_busy;
+  }
+  return max_busy;
+}
+
+}  // namespace mks

@@ -1,0 +1,101 @@
+// The virtual processor manager: level 1 of the two-level process
+// implementation.
+//
+// A fixed number of virtual processors is created at initialization, with
+// their state records permanently resident in a core segment — so this layer
+// never uses the virtual memory and can serve as the interpreter for every
+// module above it, including the virtual-memory modules themselves.  Some
+// virtual processors are permanently bound to kernel tasks (the page-I/O
+// daemon, the user-process scheduler); the rest form the pool multiplexed
+// among user processes by level 2.
+//
+// Fixing the number of processors buys the simplifications Brinch Hansen
+// argued for [Brinch Hansen, 1975]; the price — reserving the fastest memory
+// for every processor state — is kept small precisely because the pool is a
+// small, fixed subset rather than one slot per user process.
+#ifndef MKS_KERNEL_VPROC_H_
+#define MKS_KERNEL_VPROC_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/kernel/core_segment.h"
+
+namespace mks {
+
+enum class VpState : uint8_t {
+  kIdle = 0,     // in the user pool, unbound
+  kReady = 1,    // bound kernel task with work pending, or woken from a wait
+  kRunning = 2,  // dispatched
+  kWaiting = 3,  // suspended on an eventcount
+};
+
+// A kernel task bound to a virtual processor.  Invoked on every scheduler
+// pass; returns true if it performed work (used to detect quiescence).
+using KernelTask = std::function<bool()>;
+
+class VirtualProcessorManager {
+ public:
+  VirtualProcessorManager(KernelContext* ctx, CoreSegmentManager* core_segs);
+
+  // Creates the fixed pool.  The state records are backed by a dedicated
+  // core segment allocated here (an address-space/map dependency on the core
+  // segment manager only).
+  Status Init(uint16_t vp_count);
+
+  uint16_t vp_count() const { return static_cast<uint16_t>(vps_.size()); }
+
+  // Permanently binds `task` to a vp.  kResourceExhausted when every vp is
+  // bound — the fixed pool is a real limit, not a soft one.
+  Result<VpId> BindKernelTask(std::string name, KernelTask task);
+
+  // Unbound vps available for multiplexing user processes (level 2).
+  std::vector<VpId> UserPool() const;
+  Result<VpId> AcquireIdleUserVp();
+  void ReleaseUserVp(VpId vp);
+
+  // Eventcount interface.  Await returns true when the target is already
+  // satisfied; otherwise the vp is marked waiting and false is returned.
+  bool Await(VpId vp, EventcountId ec, uint64_t target);
+  // Advances the eventcount and readies every woken vp.
+  void Advance(EventcountId ec);
+
+  // Runs each ready kernel-task vp once; true if any task reported work.
+  bool RunKernelTasks();
+
+  VpState state(VpId vp) const;
+  const std::string& task_name(VpId vp) const;
+  bool IsKernelVp(VpId vp) const;
+
+  // Busy-time accounting: the level-2 scheduler attributes each quantum's
+  // cycles to the vp that executed it.  MaxBusy() estimates the parallel
+  // makespan a multiprocessor configuration would see (the simulator itself
+  // charges a single global clock).
+  void AccrueBusy(VpId vp, Cycles cycles);
+  Cycles busy(VpId vp) const;
+  Cycles MaxBusy() const;
+
+ private:
+  void StoreState(VpId vp);  // writes the state record through the core segment
+
+  struct Vp {
+    VpState state = VpState::kIdle;
+    bool kernel_bound = false;
+    std::string name;
+    KernelTask task;
+    Cycles busy = 0;
+  };
+
+  KernelContext* ctx_;
+  ModuleId self_;
+  CoreSegmentManager* core_segs_;
+  CoreSegId state_seg_{};
+  std::vector<Vp> vps_;
+  uint16_t acquire_cursor_ = 0;  // rotate dispatch across the pool
+};
+
+}  // namespace mks
+
+#endif  // MKS_KERNEL_VPROC_H_

@@ -1,0 +1,64 @@
+// Deferred-completion event queue for the discrete simulation.
+//
+// Asynchronous device activity (disk transfers) is modelled by scheduling a
+// completion closure at a future simulated time.  The scheduler runs due
+// events as the clock advances, and can fast-forward the clock to the next
+// due time when every process is blocked (the machine would be idle).
+#ifndef MKS_SIM_EVENT_QUEUE_H_
+#define MKS_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace mks {
+
+class EventQueue {
+ public:
+  void Schedule(Cycles due, std::function<void()> fn) {
+    heap_.push(Event{due, next_seq_++, std::move(fn)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  // Earliest due time; only valid when not empty.
+  Cycles next_due() const { return heap_.top().due; }
+
+  // Runs every event due at or before `now`; returns the number run.
+  size_t RunDue(Cycles now) {
+    size_t ran = 0;
+    while (!heap_.empty() && heap_.top().due <= now) {
+      // The closure may schedule further events, so pop first.
+      auto fn = std::move(heap_.top().fn);
+      heap_.pop();
+      fn();
+      ++ran;
+    }
+    return ran;
+  }
+
+ private:
+  struct Event {
+    Cycles due;
+    uint64_t seq;  // FIFO tie-break for determinism
+    mutable std::function<void()> fn;
+
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.due != b.due) {
+        return a.due > b.due;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace mks
+
+#endif  // MKS_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,36 @@
+// Named counters collected during a simulation run.
+//
+// Managers increment counters ("page_faults", "quota_checks", ...) and
+// benches/tests read them back.  Keeping counters centralized lets the
+// benchmark harness report the same event rates the paper discusses without
+// threading bookkeeping through every interface.
+#ifndef MKS_SIM_METRICS_H_
+#define MKS_SIM_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace mks {
+
+class Metrics {
+ public:
+  void Inc(std::string_view name, uint64_t by = 1) { counters_[std::string(name)] += by; }
+
+  uint64_t Get(std::string_view name) const {
+    auto it = counters_.find(std::string(name));
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void Reset() { counters_.clear(); }
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+}  // namespace mks
+
+#endif  // MKS_SIM_METRICS_H_

@@ -1,0 +1,67 @@
+#include "src/sync/eventcount.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mks {
+
+EventcountId EventcountTable::Create(std::string name) {
+  EventcountId id(static_cast<uint32_t>(cells_.size()));
+  cells_.push_back(Cell{std::move(name), 0, {}});
+  return id;
+}
+
+uint64_t EventcountTable::Read(EventcountId ec) const {
+  assert(ec.value < cells_.size());
+  return cells_[ec.value].value;
+}
+
+std::vector<VpId> EventcountTable::Advance(EventcountId ec) {
+  assert(ec.value < cells_.size());
+  Cell& cell = cells_[ec.value];
+  ++cell.value;
+  metrics_->Inc("sync.advances");
+  std::vector<VpId> woken;
+  auto it = cell.waiters.begin();
+  while (it != cell.waiters.end()) {
+    if (it->target <= cell.value) {
+      woken.push_back(it->vp);
+      it = cell.waiters.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  metrics_->Inc("sync.wakeups", woken.size());
+  return woken;
+}
+
+bool EventcountTable::AwaitOrEnqueue(EventcountId ec, uint64_t target, VpId waiter) {
+  assert(ec.value < cells_.size());
+  Cell& cell = cells_[ec.value];
+  if (cell.value >= target) {
+    return true;
+  }
+  cell.waiters.push_back(Waiter{waiter, target});
+  metrics_->Inc("sync.waits");
+  return false;
+}
+
+void EventcountTable::CancelWait(EventcountId ec, VpId waiter) {
+  assert(ec.value < cells_.size());
+  Cell& cell = cells_[ec.value];
+  cell.waiters.erase(std::remove_if(cell.waiters.begin(), cell.waiters.end(),
+                                    [&](const Waiter& w) { return w.vp == waiter; }),
+                     cell.waiters.end());
+}
+
+size_t EventcountTable::WaiterCount(EventcountId ec) const {
+  assert(ec.value < cells_.size());
+  return cells_[ec.value].waiters.size();
+}
+
+const std::string& EventcountTable::Name(EventcountId ec) const {
+  assert(ec.value < cells_.size());
+  return cells_[ec.value].name;
+}
+
+}  // namespace mks

@@ -1,0 +1,75 @@
+// Eventcounts and sequencers [Reed and Kanodia, 1977].
+//
+// The kernel design's synchronization primitive: an eventcount is a
+// monotonically increasing counter; await(ec, t) suspends the caller until
+// read(ec) >= t; advance(ec) signals the next event.  Crucially, the
+// discoverer of an event need not know the identity of the processes
+// awaiting it, which is what lets a low-level virtual processor signal
+// upward without acquiring a dependency on the user-process implementation.
+// Sequencers provide the total ordering (ticket) half of the pair.
+#ifndef MKS_SYNC_EVENTCOUNT_H_
+#define MKS_SYNC_EVENTCOUNT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+#include "src/sim/metrics.h"
+
+namespace mks {
+
+class EventcountTable {
+ public:
+  explicit EventcountTable(Metrics* metrics) : metrics_(metrics) {}
+
+  EventcountId Create(std::string name);
+
+  uint64_t Read(EventcountId ec) const;
+
+  // Increments the count and removes (returning) every virtual processor
+  // whose awaited target is now satisfied.
+  std::vector<VpId> Advance(EventcountId ec);
+
+  // If the count already satisfies `target`, returns true (caller proceeds).
+  // Otherwise registers the caller and returns false (caller suspends).
+  bool AwaitOrEnqueue(EventcountId ec, uint64_t target, VpId waiter);
+
+  // Removes a registered waiter (used when a wakeup-waiting switch catches a
+  // notification racing the wait primitive).
+  void CancelWait(EventcountId ec, VpId waiter);
+
+  size_t WaiterCount(EventcountId ec) const;
+  const std::string& Name(EventcountId ec) const;
+  size_t count() const { return cells_.size(); }
+
+ private:
+  struct Waiter {
+    VpId vp;
+    uint64_t target;
+  };
+  struct Cell {
+    std::string name;
+    uint64_t value = 0;
+    std::vector<Waiter> waiters;
+  };
+
+  std::vector<Cell> cells_;
+  Metrics* metrics_;
+};
+
+// A sequencer: issues strictly increasing tickets, pairing with eventcounts
+// to build mutual exclusion and ordered services.
+class Sequencer {
+ public:
+  uint64_t Ticket() { return next_++; }
+  uint64_t next() const { return next_; }
+
+ private:
+  uint64_t next_ = 0;
+};
+
+}  // namespace mks
+
+#endif  // MKS_SYNC_EVENTCOUNT_H_

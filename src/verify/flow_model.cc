@@ -1,0 +1,87 @@
+#include "src/verify/flow_model.h"
+
+#include <sstream>
+
+namespace mks {
+
+bool ModelDecision(const ModelLabel& subject, const ModelLabel& object, ModelOp op) {
+  if (op == ModelOp::kObserve) {
+    return subject.level >= object.level &&
+           (subject.categories & object.categories) == object.categories;
+  }
+  return object.level >= subject.level &&
+         (object.categories & subject.categories) == subject.categories;
+}
+
+bool ModelFlowPermitted(const ModelLabel& from, const ModelLabel& to) {
+  return to.level >= from.level && (to.categories & from.categories) == from.categories;
+}
+
+std::string ModelDivergence::ToString() const {
+  std::ostringstream out;
+  out << (op == ModelOp::kObserve ? "observe" : "modify") << " S=L" << subject.level << "/"
+      << subject.categories << " O=L" << object.level << "/" << object.categories
+      << ": model=" << (model_allows ? "allow" : "deny")
+      << " monitor=" << (monitor_allows ? "allow" : "deny");
+  return out.str();
+}
+
+std::vector<ModelDivergence> VerifyMonitorAgainstModel(ReferenceMonitor* monitor,
+                                                       int category_width) {
+  std::vector<ModelDivergence> divergences;
+  const uint32_t category_space = 1u << category_width;
+  for (int subject_level = 0; subject_level <= 7; ++subject_level) {
+    for (int object_level = 0; object_level <= 7; ++object_level) {
+      for (uint32_t subject_cats = 0; subject_cats < category_space; ++subject_cats) {
+        for (uint32_t object_cats = 0; object_cats < category_space; ++object_cats) {
+          const ModelLabel ms{subject_level, subject_cats};
+          const ModelLabel mo{object_level, object_cats};
+          const Subject subject{Principal{"model", "check"},
+                                Label(static_cast<uint8_t>(subject_level), subject_cats), 4};
+          const Label object(static_cast<uint8_t>(object_level), object_cats);
+          for (ModelOp op : {ModelOp::kObserve, ModelOp::kModify}) {
+            const bool model_allows = ModelDecision(ms, mo, op);
+            const bool monitor_allows =
+                monitor
+                    ->CheckFlow(subject, object,
+                                op == ModelOp::kObserve ? FlowDirection::kObserve
+                                                        : FlowDirection::kModify)
+                    .ok();
+            if (model_allows != monitor_allows) {
+              divergences.push_back(ModelDivergence{ms, mo, op, model_allows, monitor_allows});
+            }
+          }
+        }
+      }
+    }
+  }
+  return divergences;
+}
+
+int CheckSpecificationSelfConsistency(int category_width) {
+  int disagreements = 0;
+  const uint32_t category_space = 1u << category_width;
+  for (int subject_level = 0; subject_level <= 7; ++subject_level) {
+    for (int object_level = 0; object_level <= 7; ++object_level) {
+      for (uint32_t subject_cats = 0; subject_cats < category_space; ++subject_cats) {
+        for (uint32_t object_cats = 0; object_cats < category_space; ++object_cats) {
+          const ModelLabel subject{subject_level, subject_cats};
+          const ModelLabel object{object_level, object_cats};
+          // observe: information flows object -> subject.
+          if (ModelDecision(subject, object, ModelOp::kObserve) !=
+              ModelFlowPermitted(object, subject)) {
+            ++disagreements;
+          }
+          // modify: information flows subject -> object.
+          if (ModelDecision(subject, object, ModelOp::kModify) !=
+              ModelFlowPermitted(subject, object)) {
+            ++disagreements;
+          }
+        }
+      }
+    }
+  }
+  return disagreements;
+}
+
+}  // namespace mks

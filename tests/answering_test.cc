@@ -1,0 +1,122 @@
+// Tests for the answering service: authentication, clearance, sessions,
+// and accounting.
+#include <gtest/gtest.h>
+
+#include "src/answering/service.h"
+#include "tests/kernel_fixture.h"
+
+namespace mks {
+namespace {
+
+struct AnsweringFixture {
+  AnsweringFixture() : kernel(KernelConfig{}), auth(&kernel), service(&kernel, &auth) {
+    EXPECT_TRUE(kernel.Boot().ok());
+    EXPECT_TRUE(auth.Init().ok());
+    EXPECT_TRUE(auth.Enroll(Principal{"Jones", "Projx"}, "hunter2", Label(3, 0b11)).ok());
+  }
+  Kernel kernel;
+  Authenticator auth;
+  AnsweringService service;
+};
+
+TEST(Auth, GoodAndBadPasswords) {
+  AnsweringFixture fx;
+  auto subject = fx.auth.Authenticate(Principal{"Jones", "Projx"}, "hunter2", Label(1, 0));
+  ASSERT_TRUE(subject.ok());
+  EXPECT_EQ(subject->principal.person, "Jones");
+  EXPECT_EQ(subject->label.level(), 1);
+
+  EXPECT_EQ(fx.auth.Authenticate(Principal{"Jones", "Projx"}, "wrong", Label(1, 0)).code(),
+            Code::kAuthenticationFailed);
+  EXPECT_EQ(fx.auth.Authenticate(Principal{"Nobody", "P"}, "hunter2", Label(1, 0)).code(),
+            Code::kAuthenticationFailed);
+  EXPECT_EQ(fx.auth.failed_attempts(), 2u);
+}
+
+TEST(Auth, ClearanceBoundsSessionLabel) {
+  AnsweringFixture fx;
+  // Within clearance (3, {0,1}).
+  EXPECT_TRUE(fx.auth.Authenticate(Principal{"Jones", "Projx"}, "hunter2", Label(3, 0b10)).ok());
+  // Above clearance level.
+  EXPECT_EQ(
+      fx.auth.Authenticate(Principal{"Jones", "Projx"}, "hunter2", Label(4, 0)).code(),
+      Code::kNoAccess);
+  // Compartment outside clearance.
+  EXPECT_EQ(
+      fx.auth.Authenticate(Principal{"Jones", "Projx"}, "hunter2", Label(1, 0b100)).code(),
+      Code::kNoAccess);
+}
+
+TEST(Auth, ChangePasswordRequiresOldPassword) {
+  AnsweringFixture fx;
+  EXPECT_EQ(
+      fx.auth.ChangePassword(Principal{"Jones", "Projx"}, "nope", "newpw").code(),
+      Code::kAuthenticationFailed);
+  ASSERT_TRUE(fx.auth.ChangePassword(Principal{"Jones", "Projx"}, "hunter2", "newpw").ok());
+  EXPECT_TRUE(fx.auth.Authenticate(Principal{"Jones", "Projx"}, "newpw", Label(0, 0)).ok());
+  EXPECT_EQ(fx.auth.Authenticate(Principal{"Jones", "Projx"}, "hunter2", Label(0, 0)).code(),
+            Code::kAuthenticationFailed);
+}
+
+TEST(Answering, LoginCreatesProcessAndHomeDirectory) {
+  AnsweringFixture fx;
+  auto pid = fx.service.Login(Principal{"Jones", "Projx"}, "hunter2", Label(0, 0));
+  ASSERT_TRUE(pid.ok()) << pid.status();
+  EXPECT_EQ(fx.service.active_sessions(), 1u);
+  // The home directory exists and is usable by the session.
+  ProcContext* ctx = fx.kernel.processes().Context(*pid);
+  PathWalker walker(&fx.kernel.gates());
+  auto segno = walker.CreateSegment(*ctx, ">udd>Projx>Jones>mbx", WorldAcl(), Label(0, 0));
+  EXPECT_TRUE(segno.ok()) << segno.status();
+}
+
+TEST(Answering, LoginFailuresCreateNoSession) {
+  AnsweringFixture fx;
+  EXPECT_FALSE(fx.service.Login(Principal{"Jones", "Projx"}, "bad", Label(0, 0)).ok());
+  EXPECT_EQ(fx.service.active_sessions(), 0u);
+  EXPECT_EQ(fx.kernel.metrics().Get("answering.logins"), 0u);
+}
+
+TEST(Answering, LogoutBillsTheSession) {
+  AnsweringFixture fx;
+  auto pid = fx.service.Login(Principal{"Jones", "Projx"}, "hunter2", Label(0, 0));
+  ASSERT_TRUE(pid.ok());
+  // Run a little work so the bill is nonzero.
+  ProcContext* ctx = fx.kernel.processes().Context(*pid);
+  PathWalker walker(&fx.kernel.gates());
+  auto entry = walker.CreateSegment(*ctx, ">udd>Projx>Jones>scratch", WorldAcl(), Label(0, 0));
+  ASSERT_TRUE(entry.ok());
+  auto segno = fx.kernel.gates().Initiate(*ctx, *entry);
+  ASSERT_TRUE(segno.ok());
+  std::vector<UserOp> program;
+  for (int i = 0; i < 10; ++i) {
+    program.push_back(UserOp::Write(*segno, static_cast<uint32_t>(i), i));
+    program.push_back(UserOp::Compute(50));
+  }
+  ASSERT_TRUE(fx.kernel.processes().SetProgram(*pid, std::move(program)).ok());
+  ASSERT_TRUE(fx.kernel.processes().RunUntilQuiescent(10000).ok());
+
+  auto bill = fx.service.BillFor(*pid);
+  ASSERT_TRUE(bill.ok());
+  EXPECT_EQ(bill->ops, 20u);
+  EXPECT_GT(bill->cpu_cycles, 0u);
+  ASSERT_TRUE(fx.service.Logout(*pid).ok());
+  EXPECT_EQ(fx.service.active_sessions(), 0u);
+  const std::string report = fx.service.AccountingReport();
+  EXPECT_NE(report.find("Jones.Projx"), std::string::npos);
+}
+
+TEST(Answering, PasswordImagesLiveInAProtectedSegment) {
+  AnsweringFixture fx;
+  // A user-ring subject cannot initiate >system>password_images.
+  auto pid = fx.service.Login(Principal{"Jones", "Projx"}, "hunter2", Label(3, 0b11));
+  ASSERT_TRUE(pid.ok());
+  ProcContext* ctx = fx.kernel.processes().Context(*pid);
+  PathWalker walker(&fx.kernel.gates());
+  auto probe = walker.Walk(*ctx, ">system>password_images");
+  ASSERT_TRUE(probe.ok());  // an identifier comes back (real or mythical)...
+  EXPECT_EQ(fx.kernel.gates().Initiate(*ctx, *probe).code(), Code::kNoAccess);
+}
+
+}  // namespace
+}  // namespace mks

@@ -1,0 +1,118 @@
+// Tests for the baseline supervisor's in-kernel services (the code bodies the
+// redesign projects later extracted) and its race machinery.
+#include <gtest/gtest.h>
+
+#include "src/baseline/supervisor.h"
+
+namespace mks {
+namespace {
+
+TEST(BaselineServices, LinkSnapCachesPerProcess) {
+  MonolithicSupervisor sup{BaselineConfig{}};
+  ASSERT_TRUE(sup.Boot().ok());
+  auto target = sup.CreatePath(">lib>sqrt_");
+  ASSERT_TRUE(target.ok());
+  auto pid = sup.CreateProcess();
+  ASSERT_TRUE(pid.ok());
+
+  auto first = sup.LinkSnap(*pid, "sqrt_", ">lib>sqrt_");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->value, target->value);
+  EXPECT_EQ(sup.metrics().Get("baseline.links_snapped"), 1u);
+  // The snapped link short-circuits the search.
+  auto second = sup.LinkSnap(*pid, "sqrt_", ">lib>sqrt_");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(sup.metrics().Get("baseline.links_snapped"), 1u);
+  // Another process has its own linkage section.
+  auto other = sup.CreateProcess();
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(sup.LinkSnap(*other, "sqrt_", ">lib>sqrt_").ok());
+  EXPECT_EQ(sup.metrics().Get("baseline.links_snapped"), 2u);
+}
+
+TEST(BaselineServices, LinkSnapUnresolvedIsNoAccess) {
+  MonolithicSupervisor sup{BaselineConfig{}};
+  ASSERT_TRUE(sup.Boot().ok());
+  auto pid = sup.CreateProcess();
+  ASSERT_TRUE(pid.ok());
+  // The two-response rule applies inside the linker too.
+  EXPECT_EQ(sup.LinkSnap(*pid, "ghost_", ">lib>ghost_").code(), Code::kNoAccess);
+}
+
+TEST(BaselineServices, NameManagerPerProcessBindings) {
+  MonolithicSupervisor sup{BaselineConfig{}};
+  ASSERT_TRUE(sup.Boot().ok());
+  auto pid = sup.CreateProcess();
+  auto other = sup.CreateProcess();
+  ASSERT_TRUE(sup.NameBind(*pid, "ws", SegmentUid(77)).ok());
+  auto mine = sup.NameLookup(*pid, "ws");
+  ASSERT_TRUE(mine.ok());
+  EXPECT_EQ(mine->value, 77u);
+  EXPECT_EQ(sup.NameLookup(*other, "ws").code(), Code::kNotFound);
+}
+
+TEST(BaselineServices, RetranslationConflictsForceRetriesButSucceed) {
+  BaselineConfig config;
+  config.memory_frames = 48;
+  config.retranslate_conflict_rate = 0.5;  // a hostile multiprocessor
+  MonolithicSupervisor sup{config};
+  ASSERT_TRUE(sup.Boot().ok());
+  auto uid = sup.CreatePath(">noisy");
+  ASSERT_TRUE(uid.ok());
+  for (uint32_t p = 0; p < 40; ++p) {
+    ASSERT_TRUE(sup.Write(*uid, p * kPageWords, p + 1).ok()) << p;
+  }
+  for (uint32_t p = 0; p < 40; ++p) {
+    auto value = sup.Read(*uid, p * kPageWords);
+    ASSERT_TRUE(value.ok()) << p;
+    EXPECT_EQ(*value, p + 1);
+  }
+  EXPECT_GT(sup.metrics().Get("baseline.retranslation_conflicts"), 0u);
+  EXPECT_GT(sup.global_lock_acquisitions(), 0u);
+}
+
+TEST(BaselineServices, ZeroPageReclaimAndReallocation) {
+  BaselineConfig config;
+  config.memory_frames = 48;  // small: the flood below must force eviction
+  MonolithicSupervisor sup{config};
+  ASSERT_TRUE(sup.Boot().ok());
+  ASSERT_TRUE(sup.SetQuota(">", 1000).ok());
+  auto uid = sup.CreatePath(">sparse");
+  ASSERT_TRUE(uid.ok());
+  ASSERT_TRUE(sup.Write(*uid, 0, 1).ok());
+  ASSERT_TRUE(sup.Write(*uid, 0, 0).ok());  // now all-zero
+  // Evict everything by flooding memory with another segment.
+  auto flood = sup.CreatePath(">flood");
+  ASSERT_TRUE(flood.ok());
+  for (uint32_t p = 0; p < 200; ++p) {
+    Status st = sup.Write(*flood, (p % kMaxSegmentPages) * kPageWords, p + 1);
+    if (!st.ok()) {
+      break;
+    }
+  }
+  // Reading the zeroed page reallocates (the baseline leaks accounting too).
+  auto value = sup.Read(*uid, 0);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 0u);
+  EXPECT_GE(sup.metrics().Get("baseline.zero_reclaims") +
+                sup.metrics().Get("baseline.zero_page_reallocations"),
+            1u);
+}
+
+TEST(BaselineServices, QuotaUsedReflectsSubtreeCharges) {
+  MonolithicSupervisor sup{BaselineConfig{}};
+  ASSERT_TRUE(sup.Boot().ok());
+  ASSERT_TRUE(sup.CreateDirectoryPath(">proj").ok());
+  ASSERT_TRUE(sup.SetQuota(">proj", 100).ok());
+  auto uid = sup.CreatePath(">proj>data");
+  ASSERT_TRUE(uid.ok());
+  for (uint32_t p = 0; p < 5; ++p) {
+    ASSERT_TRUE(sup.Write(*uid, p * kPageWords, 1).ok());
+  }
+  auto used = sup.QuotaUsed(">proj");
+  ASSERT_TRUE(used.ok());
+  EXPECT_EQ(*used, 5u);
+}
+
+}  // namespace
+}  // namespace mks

@@ -1,0 +1,116 @@
+// Tests for the user-ring file system software: path walker, reference name
+// manager, dynamic linker.
+#include <gtest/gtest.h>
+
+#include "src/fs/linker.h"
+#include "tests/kernel_fixture.h"
+
+namespace mks {
+namespace {
+
+TEST(PathWalker, SplitsTreeNames) {
+  EXPECT_TRUE(PathWalker::Split("").empty());
+  EXPECT_TRUE(PathWalker::Split(">").empty());
+  auto parts = PathWalker::Split(">udd>Projx>Jones");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "udd");
+  EXPECT_EQ(parts[2], "Jones");
+}
+
+TEST(PathWalker, WalkAndInitiate) {
+  KernelFixture fx;
+  ASSERT_TRUE(fx.boot_status.ok());
+  PathWalker walker(&fx.kernel.gates());
+  auto entry = walker.CreateSegment(*fx.ctx, ">udd>Projx>Jones>notes", WorldAcl(),
+                                    Label::SystemLow());
+  ASSERT_TRUE(entry.ok()) << entry.status();
+  auto segno = walker.Initiate(*fx.ctx, ">udd>Projx>Jones>notes");
+  ASSERT_TRUE(segno.ok()) << segno.status();
+  ASSERT_TRUE(fx.kernel.gates().Write(*fx.ctx, *segno, 3, 9).ok());
+  auto walked = walker.Walk(*fx.ctx, ">udd>Projx>Jones>notes");
+  ASSERT_TRUE(walked.ok());
+  EXPECT_EQ(walked->value, entry->value);
+}
+
+TEST(PathWalker, WalkThroughInaccessibleDirectoryReachesOpenFile) {
+  KernelFixture fx;
+  ASSERT_TRUE(fx.boot_status.ok());
+  auto owner_proc = fx.kernel.processes().CreateProcess(TestSubject("Owner"));
+  ASSERT_TRUE(owner_proc.ok());
+  ProcContext* owner = fx.kernel.processes().Context(*owner_proc);
+  PathWalker walker(&fx.kernel.gates());
+  // >closed is owner-only; >closed>public is world-readable.
+  auto dir = fx.kernel.gates().CreateDirectory(*owner, fx.kernel.gates().RootId(), "closed",
+                                               OwnerOnlyAcl("Owner"), Label::SystemLow());
+  ASSERT_TRUE(dir.ok());
+  ASSERT_TRUE(fx.kernel.gates()
+                  .CreateSegment(*owner, *dir, "public", WorldAcl(), Label::SystemLow())
+                  .ok());
+  // The stranger walks straight through.
+  auto segno = walker.Initiate(*fx.ctx, ">closed>public");
+  ASSERT_TRUE(segno.ok()) << segno.status();
+  // And probing nonsense below the closed directory fails only at initiate.
+  auto ghost = walker.Walk(*fx.ctx, ">closed>nothing>here");
+  ASSERT_TRUE(ghost.ok());
+  EXPECT_EQ(fx.kernel.gates().Initiate(*fx.ctx, *ghost).code(), Code::kNoAccess);
+}
+
+TEST(RefName, BindResolveUnbind) {
+  KernelFixture fx;
+  ASSERT_TRUE(fx.boot_status.ok());
+  ReferenceNameManager names(&fx.kernel.ctx());
+  ASSERT_TRUE(names.Bind(fx.pid, "sqrt", Segno(70)).ok());
+  ASSERT_TRUE(names.Bind(fx.pid, "sin", Segno(71)).ok());
+  auto segno = names.Resolve(fx.pid, "sqrt");
+  ASSERT_TRUE(segno.ok());
+  EXPECT_EQ(segno->value, 70u);
+  EXPECT_EQ(names.Names(fx.pid).size(), 2u);
+  ASSERT_TRUE(names.Unbind(fx.pid, "sqrt").ok());
+  EXPECT_EQ(names.Resolve(fx.pid, "sqrt").code(), Code::kNotFound);
+  // Per-process isolation.
+  EXPECT_EQ(names.Resolve(ProcessId(9999), "sin").code(), Code::kNotFound);
+}
+
+TEST(Linker, SnapsThroughSearchRulesThenHitsFast) {
+  KernelFixture fx;
+  ASSERT_TRUE(fx.boot_status.ok());
+  PathWalker walker(&fx.kernel.gates());
+  ReferenceNameManager names(&fx.kernel.ctx());
+  DynamicLinker linker(&fx.kernel.ctx(), &fx.kernel.gates(), &walker, &names);
+
+  ASSERT_TRUE(
+      walker.CreateSegment(*fx.ctx, ">lib>math_", WorldAcl(), Label::SystemLow()).ok());
+  linker.AddSearchDir(fx.pid, ">nonexistent");
+  linker.AddSearchDir(fx.pid, ">lib");
+
+  auto first = linker.Snap(*fx.ctx, "math_");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(linker.snaps(), 1u);
+  auto second = linker.Snap(*fx.ctx, "math_");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->value, first->value);
+  EXPECT_EQ(linker.fast_hits(), 1u);
+  EXPECT_EQ(linker.snaps(), 1u);  // no second search
+
+  EXPECT_EQ(linker.Snap(*fx.ctx, "no_such_symbol").code(), Code::kNotFound);
+}
+
+TEST(Linker, ResetLinkageForcesResnap) {
+  KernelFixture fx;
+  ASSERT_TRUE(fx.boot_status.ok());
+  PathWalker walker(&fx.kernel.gates());
+  ReferenceNameManager names(&fx.kernel.ctx());
+  DynamicLinker linker(&fx.kernel.ctx(), &fx.kernel.gates(), &walker, &names);
+  ASSERT_TRUE(walker.CreateSegment(*fx.ctx, ">lib>tool_", WorldAcl(), Label::SystemLow()).ok());
+  linker.AddSearchDir(fx.pid, ">lib");
+  ASSERT_TRUE(linker.Snap(*fx.ctx, "tool_").ok());
+  linker.ResetLinkage(fx.pid);
+  ASSERT_TRUE(linker.Snap(*fx.ctx, "tool_").ok());
+  // The second resolution used the reference-name rule (bound on first snap)
+  // rather than a directory search.
+  EXPECT_EQ(fx.kernel.metrics().Get("linker.snaps"), 1u);
+  EXPECT_EQ(linker.snaps(), 2u);
+}
+
+}  // namespace
+}  // namespace mks

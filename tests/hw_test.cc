@@ -1,0 +1,163 @@
+// Tests for the simulated hardware: translation, faults, and the new-design
+// processor features.
+#include <gtest/gtest.h>
+
+#include "src/hw/machine.h"
+
+namespace mks {
+namespace {
+
+struct HwFixture {
+  Clock clock;
+  CostModel cost{&clock};
+  Metrics metrics;
+  PrimaryMemory memory{16, &cost, &metrics};
+  PageTable pt;
+  DescriptorSegment ds;
+
+  explicit HwFixture(HwFeatures features = HwFeatures::KernelDesign())
+      : processor(features, &cost, &metrics) {
+    pt.ptws.assign(4, Ptw{});
+    ds.sdws.assign(4, Sdw{});
+    Sdw& sdw = ds.sdws[0];
+    sdw.present = true;
+    sdw.page_table = &pt;
+    sdw.bound_pages = 4;
+    sdw.read = true;
+    sdw.write = true;
+    sdw.ring_bracket = 4;
+    processor.set_user_ds(&ds);
+  }
+
+  void MapPage(uint32_t page, uint32_t frame) {
+    pt.ptws[page].in_core = true;
+    pt.ptws[page].unallocated = false;
+    pt.ptws[page].frame = frame;
+  }
+
+  Processor processor;
+};
+
+// With the second DSBR, user segnos start at kSystemSegnoLimit.
+constexpr Segno kSeg0{kSystemSegnoLimit};
+
+TEST(Hw, SuccessfulTranslationSetsUsedAndModified) {
+  HwFixture hw;
+  hw.MapPage(1, 7);
+  auto r = hw.processor.Access(kSeg0, kPageWords + 5, AccessMode::kWrite, 4);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.abs_addr, 7u * kPageWords + 5);
+  EXPECT_TRUE(hw.pt.ptws[1].used);
+  EXPECT_TRUE(hw.pt.ptws[1].modified);
+}
+
+TEST(Hw, MissingSegmentFault) {
+  HwFixture hw;
+  auto r = hw.processor.Access(Segno{kSystemSegnoLimit + 2}, 0, AccessMode::kRead, 4);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.fault.kind, FaultKind::kMissingSegment);
+}
+
+TEST(Hw, OutOfBoundsFault) {
+  HwFixture hw;
+  auto r = hw.processor.Access(kSeg0, 4 * kPageWords, AccessMode::kRead, 4);
+  ASSERT_FALSE(r.ok);
+  EXPECT_EQ(r.fault.kind, FaultKind::kOutOfBounds);
+}
+
+TEST(Hw, AccessViolationAndRingViolation) {
+  HwFixture hw;
+  hw.MapPage(0, 3);
+  auto exec = hw.processor.Access(kSeg0, 0, AccessMode::kExecute, 4);
+  EXPECT_EQ(exec.fault.kind, FaultKind::kAccessViolation);
+  auto ring = hw.processor.Access(kSeg0, 0, AccessMode::kRead, 5);
+  EXPECT_EQ(ring.fault.kind, FaultKind::kRingViolation);
+}
+
+TEST(Hw, QuotaExceptionBitDistinguishesGrowth) {
+  HwFixture with_bit{HwFeatures::KernelDesign()};
+  auto r = with_bit.processor.Access(kSeg0, 0, AccessMode::kWrite, 4);
+  EXPECT_EQ(r.fault.kind, FaultKind::kQuotaException);
+
+  // Baseline hardware reports only a missing page; software re-diagnoses.
+  HwFixture without{HwFeatures::Baseline()};
+  auto r2 = without.processor.Access(Segno{0}, 0, AccessMode::kWrite, 4);
+  EXPECT_EQ(r2.fault.kind, FaultKind::kMissingPage);
+}
+
+TEST(Hw, DescriptorLockBitLocksAndLatchesAddress) {
+  HwFixture hw;
+  hw.pt.ptws[0].unallocated = false;  // allocated but not in core
+  auto first = hw.processor.Access(kSeg0, 0, AccessMode::kRead, 4);
+  EXPECT_EQ(first.fault.kind, FaultKind::kMissingPage);
+  EXPECT_TRUE(hw.pt.ptws[0].locked);
+  EXPECT_EQ(hw.processor.lock_address_register(), &hw.pt.ptws[0]);
+  // A second toucher sees the locked descriptor, not a missing page.
+  auto second = hw.processor.Access(kSeg0, 0, AccessMode::kRead, 4);
+  EXPECT_EQ(second.fault.kind, FaultKind::kLockedDescriptor);
+}
+
+TEST(Hw, BaselineHardwareNeverLocks) {
+  HwFixture hw{HwFeatures::Baseline()};
+  hw.pt.ptws[0].unallocated = false;
+  auto first = hw.processor.Access(Segno{0}, 0, AccessMode::kRead, 4);
+  EXPECT_EQ(first.fault.kind, FaultKind::kMissingPage);
+  EXPECT_FALSE(hw.pt.ptws[0].locked);
+  auto second = hw.processor.Access(Segno{0}, 0, AccessMode::kRead, 4);
+  EXPECT_EQ(second.fault.kind, FaultKind::kMissingPage);
+}
+
+TEST(Hw, SecondDsbrSplitsSystemAndUserSpaces) {
+  HwFixture hw;
+  // Build a one-segment system space.
+  PageTable sys_pt;
+  sys_pt.ptws.assign(1, Ptw{});
+  sys_pt.ptws[0].in_core = true;
+  sys_pt.ptws[0].unallocated = false;
+  sys_pt.ptws[0].frame = 2;
+  DescriptorSegment sys_ds;
+  sys_ds.sdws.assign(1, Sdw{});
+  sys_ds.sdws[0] = Sdw{true, &sys_pt, 1, true, true, true, 0};
+  hw.processor.set_system_ds(&sys_ds);
+
+  // Segno 0 translates through the system space at ring 0 only.
+  auto sys = hw.processor.Access(Segno{0}, 9, AccessMode::kRead, 0);
+  ASSERT_TRUE(sys.ok);
+  EXPECT_EQ(sys.abs_addr, 2u * kPageWords + 9);
+  auto user_ring = hw.processor.Access(Segno{0}, 9, AccessMode::kRead, 4);
+  EXPECT_EQ(user_ring.fault.kind, FaultKind::kRingViolation);
+
+  // User segnos are offset by the system boundary.
+  hw.MapPage(0, 5);
+  auto user = hw.processor.Access(kSeg0, 3, AccessMode::kRead, 4);
+  ASSERT_TRUE(user.ok);
+  EXPECT_EQ(user.abs_addr, 5u * kPageWords + 3);
+}
+
+TEST(Hw, WakeupWaitingSwitch) {
+  HwFixture hw;
+  hw.processor.ArmWakeupWaiting();
+  EXPECT_FALSE(hw.processor.wakeup_waiting());
+  hw.processor.SetWakeupWaiting();
+  EXPECT_TRUE(hw.processor.wakeup_waiting());
+}
+
+TEST(Hw, ZeroScanChargesPerWordAndDetects) {
+  HwFixture hw;
+  const Cycles before = hw.clock.now();
+  EXPECT_TRUE(hw.memory.FrameIsZero(FrameIndex(1)));
+  EXPECT_GE(hw.clock.now() - before, static_cast<Cycles>(kPageWords));
+  hw.memory.FrameSpan(FrameIndex(1))[17] = 9;
+  EXPECT_FALSE(hw.memory.FrameIsZero(FrameIndex(1)));
+}
+
+TEST(Hw, MemoryReadWriteRoundTrip) {
+  HwFixture hw;
+  hw.memory.WriteWord(1234, 0xabcdef);
+  EXPECT_EQ(hw.memory.ReadWord(1234), 0xabcdefu);
+  hw.memory.ZeroFrame(FrameIndex(1234 / kPageWords));
+  EXPECT_EQ(hw.memory.ReadWord(1234), 0u);
+}
+
+}  // namespace
+}  // namespace mks

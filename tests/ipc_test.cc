@@ -1,0 +1,187 @@
+// Tests for user-visible eventcounts: producer/consumer synchronization
+// through the two-level scheduler, and the mandatory-policy checks that make
+// eventcount signalling an overt (not covert) channel.
+#include <gtest/gtest.h>
+
+#include "tests/kernel_fixture.h"
+
+namespace mks {
+namespace {
+
+TEST(UserEventcounts, CreateReadAdvance) {
+  KernelFixture fx;
+  ASSERT_TRUE(fx.boot_status.ok());
+  KernelGates& gates = fx.kernel.gates();
+  auto ec = gates.CreateEventcount(*fx.ctx, Label::SystemLow());
+  ASSERT_TRUE(ec.ok());
+  auto v0 = gates.ReadEventcount(*fx.ctx, *ec);
+  ASSERT_TRUE(v0.ok());
+  EXPECT_EQ(*v0, 0u);
+  ASSERT_TRUE(gates.AdvanceEventcount(*fx.ctx, *ec).ok());
+  auto v1 = gates.ReadEventcount(*fx.ctx, *ec);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*v1, 1u);
+  // A satisfied await completes inline.
+  EXPECT_TRUE(gates.AwaitEventcount(*fx.ctx, *ec, 1).ok());
+  // An unsatisfied one blocks with a wait spec.
+  EXPECT_EQ(gates.AwaitEventcount(*fx.ctx, *ec, 5).code(), Code::kBlocked);
+  EXPECT_TRUE(fx.ctx->pending_wait.valid);
+  EXPECT_EQ(fx.ctx->pending_wait.target, 5u);
+}
+
+TEST(UserEventcounts, BogusIdsRejected) {
+  KernelFixture fx;
+  ASSERT_TRUE(fx.boot_status.ok());
+  EXPECT_EQ(fx.kernel.gates().AdvanceEventcount(*fx.ctx, EventcountId(9999)).code(),
+            Code::kNotFound);
+}
+
+TEST(UserEventcounts, ProducerConsumerThroughTheScheduler) {
+  KernelFixture fx;
+  ASSERT_TRUE(fx.boot_status.ok());
+  fx.kernel.processes().set_quantum(2);  // force interleaving
+  KernelGates& gates = fx.kernel.gates();
+  const Segno mailbox = fx.MustCreate(">ipc>mailbox");
+  auto ec = gates.CreateEventcount(*fx.ctx, Label::SystemLow());
+  ASSERT_TRUE(ec.ok());
+
+  // Consumer (the fixture's process): waits for 3 items, reads them.
+  std::vector<UserOp> consumer;
+  for (uint64_t n = 1; n <= 3; ++n) {
+    consumer.push_back(UserOp::Await(*ec, n));
+    consumer.push_back(UserOp::Read(mailbox, static_cast<uint32_t>(n)));
+  }
+  ASSERT_TRUE(fx.kernel.processes().SetProgram(fx.pid, std::move(consumer)).ok());
+
+  // Producer: another process sharing the mailbox.
+  auto producer_pid = fx.kernel.processes().CreateProcess(TestSubject("Producer"));
+  ASSERT_TRUE(producer_pid.ok());
+  ProcContext* prod = fx.kernel.processes().Context(*producer_pid);
+  PathWalker walker(&gates);
+  auto prod_segno = walker.Initiate(*prod, ">ipc>mailbox");
+  ASSERT_TRUE(prod_segno.ok());
+  std::vector<UserOp> producer;
+  for (uint64_t n = 1; n <= 3; ++n) {
+    producer.push_back(UserOp::Compute(500));  // stagger production
+    producer.push_back(UserOp::Write(*prod_segno, static_cast<uint32_t>(n), 100 + n));
+    producer.push_back(UserOp::Advance(*ec));
+  }
+  ASSERT_TRUE(fx.kernel.processes().SetProgram(*producer_pid, std::move(producer)).ok());
+
+  ASSERT_TRUE(fx.kernel.processes().RunUntilQuiescent(100000).ok());
+  EXPECT_EQ(fx.kernel.processes().state(fx.pid), ProcState::kDone)
+      << fx.kernel.processes().stats(fx.pid).last_error;
+  EXPECT_EQ(fx.kernel.processes().state(*producer_pid), ProcState::kDone);
+  EXPECT_GT(fx.kernel.processes().stats(fx.pid).blocks, 0u);  // the consumer really waited
+  // The mailbox holds the produced values.
+  auto value = gates.Read(*fx.ctx, mailbox, 3);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 103u);
+}
+
+TEST(UserEventcounts, MandatoryPolicyOnSignalling) {
+  KernelFixture fx;  // fixture subject runs at system-low
+  ASSERT_TRUE(fx.boot_status.ok());
+  KernelGates& gates = fx.kernel.gates();
+  auto high_proc = fx.kernel.processes().CreateProcess(TestSubject("High", 3));
+  ProcContext* high = fx.kernel.processes().Context(*high_proc);
+
+  // A low eventcount: the high subject may NOT advance it (write down) —
+  // that would be a signalling channel from high to low.
+  auto low_ec = gates.CreateEventcount(*fx.ctx, Label::SystemLow());
+  ASSERT_TRUE(low_ec.ok());
+  EXPECT_EQ(gates.AdvanceEventcount(*high, *low_ec).code(), Code::kNoAccess);
+  EXPECT_TRUE(gates.AdvanceEventcount(*fx.ctx, *low_ec).ok());
+  // The high subject may observe it (read down).
+  EXPECT_TRUE(gates.ReadEventcount(*high, *low_ec).ok());
+
+  // A high eventcount: low may advance (write up) but not observe.
+  auto high_ec = gates.CreateEventcount(*high, Label(3, 0));
+  ASSERT_TRUE(high_ec.ok());
+  EXPECT_TRUE(gates.AdvanceEventcount(*fx.ctx, *high_ec).ok());
+  EXPECT_EQ(gates.ReadEventcount(*fx.ctx, *high_ec).code(), Code::kNoAccess);
+  EXPECT_EQ(gates.AwaitEventcount(*fx.ctx, *high_ec, 5).code(), Code::kNoAccess);
+
+  // Creation below one's own level is a write-down too.
+  EXPECT_EQ(gates.CreateEventcount(*high, Label::SystemLow()).code(), Code::kNoAccess);
+}
+
+TEST(Rename, RenamesPreserveIdentityAndAccess) {
+  KernelFixture fx;
+  ASSERT_TRUE(fx.boot_status.ok());
+  KernelGates& gates = fx.kernel.gates();
+  auto seg = gates.CreateSegment(*fx.ctx, gates.RootId(), "old", WorldAcl(),
+                                 Label::SystemLow());
+  ASSERT_TRUE(seg.ok());
+  auto segno = gates.Initiate(*fx.ctx, *seg);
+  ASSERT_TRUE(gates.Write(*fx.ctx, *segno, 0, 42).ok());
+
+  ASSERT_TRUE(gates.Rename(*fx.ctx, gates.RootId(), "old", "new").ok());
+  EXPECT_EQ(gates.Search(*fx.ctx, gates.RootId(), "old").code(), Code::kNoEntry);
+  auto found = gates.Search(*fx.ctx, gates.RootId(), "new");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->value, seg->value);  // the unique identifier is untouched
+  // The initiated segno keeps working across the rename.
+  auto value = gates.Read(*fx.ctx, *segno, 0);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42u);
+
+  // Collisions and missing names are rejected.
+  ASSERT_TRUE(
+      gates.CreateSegment(*fx.ctx, gates.RootId(), "other", WorldAcl(), Label::SystemLow())
+          .ok());
+  EXPECT_EQ(gates.Rename(*fx.ctx, gates.RootId(), "new", "other").code(),
+            Code::kNameDuplication);
+  EXPECT_EQ(gates.Rename(*fx.ctx, gates.RootId(), "ghost", "x").code(), Code::kNoEntry);
+}
+
+TEST(Rename, DirectoryRenameUpdatesTheTree) {
+  KernelFixture fx;
+  ASSERT_TRUE(fx.boot_status.ok());
+  KernelGates& gates = fx.kernel.gates();
+  PathWalker walker(&gates);
+  const Segno inner = fx.MustCreate(">team>notes");
+  ASSERT_TRUE(gates.Write(*fx.ctx, inner, 0, 9).ok());
+  ASSERT_TRUE(gates.Rename(*fx.ctx, gates.RootId(), "team", "group").ok());
+  auto via_new = walker.Initiate(*fx.ctx, ">group>notes");
+  ASSERT_TRUE(via_new.ok());
+  auto value = gates.Read(*fx.ctx, *via_new, 0);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 9u);
+}
+
+TEST(Shutdown, FlushesBooksAndDrainsTheAst) {
+  KernelFixture fx;
+  ASSERT_TRUE(fx.boot_status.ok());
+  KernelGates& gates = fx.kernel.gates();
+  auto dir = gates.CreateDirectory(*fx.ctx, gates.RootId(), "q", WorldAcl(),
+                                   Label::SystemLow());
+  ASSERT_TRUE(dir.ok());
+  ASSERT_TRUE(gates.SetQuota(*fx.ctx, *dir, 50).ok());
+  auto seg = gates.CreateSegment(*fx.ctx, *dir, "data", WorldAcl(), Label::SystemLow());
+  ASSERT_TRUE(seg.ok());
+  auto segno = gates.Initiate(*fx.ctx, *seg);
+  for (uint32_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE(gates.Write(*fx.ctx, *segno, p * kPageWords, p + 1).ok());
+  }
+  ASSERT_TRUE(fx.kernel.Shutdown().ok());
+  EXPECT_FALSE(fx.kernel.booted());
+  EXPECT_EQ(fx.kernel.segments().active_count(), 0u);
+  // The quota books were written home: the dir's VTOC store carries the
+  // count (its own backing page + 4 data pages).
+  bool found = false;
+  for (uint16_t pk = 0; pk < fx.kernel.ctx().volumes.pack_count(); ++pk) {
+    DiskPack* pack = fx.kernel.ctx().volumes.pack(PackId(pk));
+    for (uint32_t v = 0; v < pack->vtoc_slots(); ++v) {
+      const VtocEntry* entry = pack->GetVtoc(VtocIndex(v));
+      if (entry != nullptr && entry->quota.present && entry->quota.limit == 50) {
+        EXPECT_EQ(entry->quota.count, 5u);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace mks

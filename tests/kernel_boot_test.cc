@@ -1,0 +1,151 @@
+// Boot and end-to-end smoke tests of the assembled kernel.
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+
+namespace mks {
+namespace {
+
+Subject UserSubject(const std::string& person = "Jones", uint8_t level = 0) {
+  return Subject{Principal{person, "Projx"}, Label(level, 0), /*ring=*/4};
+}
+
+Acl OpenAcl() {
+  Acl acl;
+  acl.Add(AclEntry{"*", "*", AccessModes::RWE()});
+  return acl;
+}
+
+TEST(KernelBoot, BootSucceeds) {
+  Kernel kernel{KernelConfig{}};
+  ASSERT_TRUE(kernel.Boot().ok());
+  EXPECT_TRUE(kernel.booted());
+  EXPECT_TRUE(kernel.core_segments().sealed());
+  EXPECT_GT(kernel.page_frames().free_frames(), 0u);
+}
+
+TEST(KernelBoot, CoreSegmentsAreFixedAfterBoot) {
+  Kernel kernel{KernelConfig{}};
+  ASSERT_TRUE(kernel.Boot().ok());
+  auto extra = kernel.core_segments().Allocate("late", 1);
+  EXPECT_EQ(extra.code(), Code::kFailedPrecondition);
+}
+
+TEST(KernelEndToEnd, CreateWriteReadSegment) {
+  Kernel kernel{KernelConfig{}};
+  ASSERT_TRUE(kernel.Boot().ok());
+
+  auto pid = kernel.processes().CreateProcess(UserSubject());
+  ASSERT_TRUE(pid.ok());
+  ProcContext* ctx = kernel.processes().Context(*pid);
+  ASSERT_NE(ctx, nullptr);
+
+  KernelGates& gates = kernel.gates();
+  auto seg = gates.CreateSegment(*ctx, gates.RootId(), "alpha", OpenAcl(), Label::SystemLow());
+  ASSERT_TRUE(seg.ok()) << seg.status();
+
+  auto segno = gates.Initiate(*ctx, *seg);
+  ASSERT_TRUE(segno.ok()) << segno.status();
+
+  ASSERT_TRUE(gates.Write(*ctx, *segno, 0, 0xdeadbeef).ok());
+  ASSERT_TRUE(gates.Write(*ctx, *segno, 5000, 42).ok());  // crosses pages, grows
+  auto v0 = gates.Read(*ctx, *segno, 0);
+  ASSERT_TRUE(v0.ok());
+  EXPECT_EQ(*v0, 0xdeadbeefu);
+  auto v1 = gates.Read(*ctx, *segno, 5000);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(*v1, 42u);
+  // An untouched word in a grown page reads zero.
+  auto v2 = gates.Read(*ctx, *segno, 5001);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(*v2, 0u);
+}
+
+TEST(KernelEndToEnd, SearchFindsCreatedEntry) {
+  Kernel kernel{KernelConfig{}};
+  ASSERT_TRUE(kernel.Boot().ok());
+  auto pid = kernel.processes().CreateProcess(UserSubject());
+  ASSERT_TRUE(pid.ok());
+  ProcContext* ctx = kernel.processes().Context(*pid);
+  KernelGates& gates = kernel.gates();
+
+  auto seg = gates.CreateSegment(*ctx, gates.RootId(), "beta", OpenAcl(), Label::SystemLow());
+  ASSERT_TRUE(seg.ok());
+  auto found = gates.Search(*ctx, gates.RootId(), "beta");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->value, seg->value);
+
+  auto missing = gates.Search(*ctx, gates.RootId(), "gamma");
+  EXPECT_EQ(missing.code(), Code::kNoEntry);
+}
+
+TEST(KernelEndToEnd, DataSurvivesDeactivationCycles) {
+  KernelConfig config;
+  config.memory_frames = 64;  // small memory: forces paging
+  config.ast_slots = 8;
+  Kernel kernel{config};
+  ASSERT_TRUE(kernel.Boot().ok());
+  auto pid = kernel.processes().CreateProcess(UserSubject());
+  ASSERT_TRUE(pid.ok());
+  ProcContext* ctx = kernel.processes().Context(*pid);
+  KernelGates& gates = kernel.gates();
+
+  // Create several segments and fill pages, cycling the small AST/memory.
+  std::vector<Segno> segnos;
+  for (int i = 0; i < 4; ++i) {
+    auto seg = gates.CreateSegment(*ctx, gates.RootId(), "f" + std::to_string(i), OpenAcl(),
+                                   Label::SystemLow());
+    ASSERT_TRUE(seg.ok()) << seg.status();
+    auto segno = gates.Initiate(*ctx, *seg);
+    ASSERT_TRUE(segno.ok()) << segno.status();
+    segnos.push_back(*segno);
+    for (uint32_t p = 0; p < 16; ++p) {
+      ASSERT_TRUE(gates.Write(*ctx, *segno, p * kPageWords + 7, 100u * i + p).ok());
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (uint32_t p = 0; p < 16; ++p) {
+      auto v = gates.Read(*ctx, segnos[i], p * kPageWords + 7);
+      ASSERT_TRUE(v.ok()) << v.status();
+      EXPECT_EQ(*v, 100u * i + p);
+    }
+  }
+  EXPECT_GT(kernel.metrics().Get("pfm.evictions"), 0u);
+}
+
+TEST(KernelEndToEnd, RuntimeCallsStayInsideDeclaredLattice) {
+  KernelConfig config;
+  config.memory_frames = 96;
+  config.ast_slots = 8;
+  Kernel kernel{config};
+  ASSERT_TRUE(kernel.Boot().ok());
+  auto pid = kernel.processes().CreateProcess(UserSubject());
+  ASSERT_TRUE(pid.ok());
+  ProcContext* ctx = kernel.processes().Context(*pid);
+  KernelGates& gates = kernel.gates();
+
+  auto dir = gates.CreateDirectory(*ctx, gates.RootId(), "sub", OpenAcl(), Label::SystemLow());
+  ASSERT_TRUE(dir.ok());
+  auto seg = gates.CreateSegment(*ctx, *dir, "data", OpenAcl(), Label::SystemLow());
+  ASSERT_TRUE(seg.ok());
+  auto segno = gates.Initiate(*ctx, *seg);
+  ASSERT_TRUE(segno.ok());
+  for (uint32_t p = 0; p < 30; ++p) {
+    ASSERT_TRUE(gates.Write(*ctx, *segno, p * kPageWords, p).ok());
+  }
+  ASSERT_TRUE(gates.Delete(*ctx, *dir, "data").ok());
+
+  const DependencyGraph declared = Kernel::DeclaredLattice();
+  EXPECT_TRUE(declared.IsLoopFree());
+  const auto undeclared = kernel.tracker().UndeclaredEdges(declared);
+  EXPECT_TRUE(undeclared.empty()) << [&] {
+    std::string all;
+    for (const auto& e : undeclared) {
+      all += e + "\n";
+    }
+    return all;
+  }();
+}
+
+}  // namespace
+}  // namespace mks

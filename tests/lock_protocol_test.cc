@@ -1,0 +1,121 @@
+// End-to-end tests of the descriptor-lock wait/notify protocol under
+// contention: with asynchronous paging, the first toucher of a missing page
+// posts the read and leaves the descriptor locked; every other toucher takes
+// a locked-descriptor fault, arms the wakeup-waiting switch, and awaits the
+// segment's page-arrival eventcount.  Completion unlocks the descriptor and
+// notifies everyone.
+#include <gtest/gtest.h>
+
+#include "tests/kernel_fixture.h"
+
+namespace mks {
+namespace {
+
+KernelConfig AsyncConfig() {
+  KernelConfig config;
+  config.async_paging = true;
+  config.memory_frames = 64;
+  return config;
+}
+
+TEST(LockProtocol, SecondToucherWaitsOnTheEventcount) {
+  KernelFixture fx{AsyncConfig()};
+  ASSERT_TRUE(fx.boot_status.ok());
+  KernelGates& gates = fx.kernel.gates();
+
+  // Shared segment with one resident-then-evicted page.
+  auto entry = gates.CreateSegment(*fx.ctx, gates.RootId(), "shared", WorldAcl(),
+                                   Label::SystemLow());
+  ASSERT_TRUE(entry.ok());
+  auto segno = gates.Initiate(*fx.ctx, *entry);
+  ASSERT_TRUE(gates.Write(*fx.ctx, *segno, 0, 7).ok());
+  const SegmentUid uid(entry->value);
+  const uint32_t ast_index = fx.kernel.segments().FindIndex(uid);
+  AstEntry* ast = fx.kernel.segments().Get(ast_index);
+  ASSERT_TRUE(fx.kernel.page_frames()
+                  .EvictPage(&ast->page_table, 0, ast->pack, ast->vtoc, ast->quota_cell,
+                             ast->page_ec)
+                  .ok());
+
+  // First toucher: posts the read, blocks.
+  Status first = gates.Read(*fx.ctx, *segno, 0).status();
+  EXPECT_EQ(first.code(), Code::kBlocked);
+  EXPECT_TRUE(ast->page_table.ptws[0].locked);
+  EXPECT_EQ(fx.kernel.page_frames().pending_io(), 1u);
+
+  // Second toucher (another process): hits the LOCKED descriptor, not a
+  // missing page, and is told to await the same eventcount.
+  auto second_pid = fx.kernel.processes().CreateProcess(TestSubject("Second"));
+  ProcContext* second = fx.kernel.processes().Context(*second_pid);
+  auto their_segno = gates.Initiate(*second, *entry);
+  ASSERT_TRUE(their_segno.ok());
+  Status blocked = gates.Read(*second, *their_segno, 0).status();
+  EXPECT_EQ(blocked.code(), Code::kBlocked);
+  EXPECT_GT(fx.kernel.metrics().Get("gates.locked_descriptor_waits"), 0u);
+  EXPECT_TRUE(second->pending_wait.valid);
+  EXPECT_EQ(second->pending_wait.ec.value, ast->page_ec.value);
+
+  // The transfer completes; the daemon unlocks and notifies.
+  fx.kernel.clock().Advance(Costs::kDiskReadLatency + 1);
+  fx.kernel.ctx().events.RunDue(fx.kernel.clock().now());
+  EXPECT_TRUE(fx.kernel.page_frames().PageIoDaemonStep());
+  EXPECT_FALSE(ast->page_table.ptws[0].locked);
+  EXPECT_GE(fx.kernel.ctx().eventcounts.Read(ast->page_ec), second->pending_wait.target);
+
+  // Both retries now succeed and see the data.
+  auto mine = gates.Read(*fx.ctx, *segno, 0);
+  auto theirs = gates.Read(*second, *their_segno, 0);
+  ASSERT_TRUE(mine.ok());
+  ASSERT_TRUE(theirs.ok());
+  EXPECT_EQ(*mine, 7u);
+  EXPECT_EQ(*theirs, 7u);
+  // Exactly one disk read serviced both touchers.
+  EXPECT_EQ(fx.kernel.metrics().Get("pfm.async_reads"), 1u);
+}
+
+TEST(LockProtocol, ManyProcessesSharingOneHotSegmentAllFinish) {
+  KernelConfig config = AsyncConfig();
+  config.memory_frames = 56;
+  KernelFixture fx{config};
+  ASSERT_TRUE(fx.boot_status.ok());
+  KernelGates& gates = fx.kernel.gates();
+  auto entry = gates.CreateSegment(*fx.ctx, gates.RootId(), "hot", WorldAcl(),
+                                   Label::SystemLow());
+  ASSERT_TRUE(entry.ok());
+  auto warm = gates.Initiate(*fx.ctx, *entry);
+  for (uint32_t p = 0; p < 24; ++p) {
+    ASSERT_TRUE(gates.Write(*fx.ctx, *warm, p * kPageWords, p + 1).ok());
+  }
+
+  std::vector<ProcessId> pids;
+  for (int i = 0; i < 4; ++i) {
+    auto pid = fx.kernel.processes().CreateProcess(TestSubject("R" + std::to_string(i)));
+    ASSERT_TRUE(pid.ok());
+    ProcContext* ctx = fx.kernel.processes().Context(*pid);
+    auto segno = gates.Initiate(*ctx, *entry);
+    ASSERT_TRUE(segno.ok());
+    std::vector<UserOp> program;
+    for (uint32_t n = 0; n < 48; ++n) {
+      // Overlapping strides: several processes regularly race to the same
+      // evicted page.
+      program.push_back(UserOp::Read(*segno, ((n + 7u * i) % 24) * kPageWords));
+    }
+    ASSERT_TRUE(fx.kernel.processes().SetProgram(*pid, std::move(program)).ok());
+    pids.push_back(*pid);
+  }
+  ASSERT_TRUE(fx.kernel.processes().RunUntilQuiescent(500000).ok());
+  for (ProcessId pid : pids) {
+    EXPECT_EQ(fx.kernel.processes().state(pid), ProcState::kDone)
+        << fx.kernel.processes().stats(pid).last_error;
+  }
+  // Values intact under all that contention.
+  for (uint32_t p = 0; p < 24; ++p) {
+    auto value = gates.Read(*fx.ctx, *warm, p * kPageWords);
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(*value, p + 1);
+  }
+  EXPECT_TRUE(fx.kernel.AuditIntegrity().empty());
+}
+
+}  // namespace
+}  // namespace mks

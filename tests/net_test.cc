@@ -1,0 +1,176 @@
+// Tests for the network subsystem: the in-kernel per-network handlers and
+// the generic demultiplexer + user-domain protocol configuration must agree
+// on protocol outcomes; only the structure (and cost) differs.
+#include <gtest/gtest.h>
+
+#include "src/net/demux.h"
+
+namespace mks {
+namespace {
+
+struct NetFixture {
+  Clock clock;
+  CostModel cost{&clock};
+  Metrics metrics;
+};
+
+Frame DataFrame(uint16_t sub, uint32_t seq, std::vector<Word> payload) {
+  Frame f;
+  f.subchannel = SubchannelId(sub);
+  f.type = frame_type::kData;
+  f.seq = seq;
+  f.payload = std::move(payload);
+  return f;
+}
+
+TEST(NetBaseline, OrderedDeliveryAndAcks) {
+  NetFixture fx;
+  MultiplexedChannel arpanet(ChannelId(0), "arpanet");
+  InKernelNetworkStack stack(&fx.cost, &fx.metrics);
+  stack.AttachArpanet(&arpanet);
+  arpanet.Inject(DataFrame(3, 0, {1}));
+  arpanet.Inject(DataFrame(3, 1, {2}));
+  arpanet.Inject(DataFrame(3, 3, {9}));  // out of order: dropped
+  EXPECT_EQ(stack.PumpAll(), 3u);
+  auto f0 = stack.ReceiveArpanet(SubchannelId(3));
+  auto f1 = stack.ReceiveArpanet(SubchannelId(3));
+  auto f2 = stack.ReceiveArpanet(SubchannelId(3));
+  ASSERT_TRUE(f0.has_value());
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_FALSE(f2.has_value());
+  EXPECT_EQ(stack.acks_sent().size(), 2u);
+  EXPECT_EQ(fx.metrics.Get("net.out_of_order"), 1u);
+}
+
+TEST(NetBaseline, TerminalLinesAssembleAndEcho) {
+  NetFixture fx;
+  MultiplexedChannel fep(ChannelId(1), "front_end");
+  InKernelNetworkStack stack(&fx.cost, &fx.metrics);
+  stack.AttachFrontEnd(&fep);
+  Frame f;
+  f.subchannel = SubchannelId(7);
+  f.type = frame_type::kData;
+  for (char c : std::string("ls\nwho\n")) {
+    f.payload.push_back(static_cast<Word>(c));
+  }
+  fep.Inject(f);
+  stack.PumpAll();
+  auto line1 = stack.ReadTerminalLine(SubchannelId(7));
+  auto line2 = stack.ReadTerminalLine(SubchannelId(7));
+  ASSERT_TRUE(line1.has_value());
+  ASSERT_TRUE(line2.has_value());
+  EXPECT_EQ(*line1, "ls");
+  EXPECT_EQ(*line2, "who");
+}
+
+TEST(NetDemux, RoutesWithoutInterpretingAndUserProtocolAgrees) {
+  NetFixture fx;
+  MultiplexedChannel arpanet(ChannelId(0), "arpanet");
+  GenericDemux demux(&fx.cost, &fx.metrics);
+  demux.AttachChannel(&arpanet);
+  NcpProtocolUser ncp(&fx.cost, &fx.metrics, &demux, ChannelId(0));
+
+  arpanet.Inject(DataFrame(3, 0, {1}));
+  arpanet.Inject(DataFrame(3, 1, {2}));
+  arpanet.Inject(DataFrame(3, 3, {9}));
+  EXPECT_EQ(demux.Pump(), 3u);
+  EXPECT_EQ(ncp.PumpSubchannel(SubchannelId(3)), 3u);
+  ASSERT_TRUE(ncp.Receive(SubchannelId(3)).has_value());
+  ASSERT_TRUE(ncp.Receive(SubchannelId(3)).has_value());
+  EXPECT_FALSE(ncp.Receive(SubchannelId(3)).has_value());
+  EXPECT_EQ(ncp.acks_sent().size(), 2u);
+}
+
+TEST(NetDemux, TerminalProtocolInUserDomain) {
+  NetFixture fx;
+  MultiplexedChannel fep(ChannelId(1), "front_end");
+  GenericDemux demux(&fx.cost, &fx.metrics);
+  demux.AttachChannel(&fep);
+  TerminalProtocolUser terminal(&fx.cost, &fx.metrics, &demux, ChannelId(1));
+  Frame f;
+  f.subchannel = SubchannelId(2);
+  for (char c : std::string("print notes\n")) {
+    f.payload.push_back(static_cast<Word>(c));
+  }
+  fep.Inject(f);
+  demux.Pump();
+  terminal.PumpLine(SubchannelId(2));
+  auto line = terminal.ReadLine(SubchannelId(2));
+  ASSERT_TRUE(line.has_value());
+  EXPECT_EQ(*line, "print notes");
+}
+
+TEST(NetDemux, BoundedQueuesDropUnderOverload) {
+  NetFixture fx;
+  MultiplexedChannel arpanet(ChannelId(0), "arpanet");
+  GenericDemux demux(&fx.cost, &fx.metrics, /*queue_capacity=*/4);
+  demux.AttachChannel(&arpanet);
+  for (uint32_t i = 0; i < 10; ++i) {
+    arpanet.Inject(DataFrame(1, i, {i}));
+  }
+  demux.Pump();
+  EXPECT_EQ(demux.dropped(), 6u);
+}
+
+TEST(NetDemux, AttachingAThirdNetworkIsJustARegistration) {
+  NetFixture fx;
+  MultiplexedChannel a(ChannelId(0), "arpanet");
+  MultiplexedChannel b(ChannelId(1), "front_end");
+  MultiplexedChannel c(ChannelId(2), "third_net");
+  GenericDemux demux(&fx.cost, &fx.metrics);
+  demux.AttachChannel(&a);
+  demux.AttachChannel(&b);
+  demux.AttachChannel(&c);
+  EXPECT_EQ(demux.attached_networks(), 3u);
+  c.Inject(DataFrame(0, 0, {1}));
+  EXPECT_EQ(demux.Pump(), 1u);
+  // The same frame is readable through the one generic gate.
+  EXPECT_TRUE(demux.ReadSubchannel(ChannelId(2), SubchannelId(0)).has_value());
+}
+
+TEST(Net, BothConfigurationsDeliverTheSamePayloads) {
+  NetFixture fx;
+  TrafficGenerator gen(99, 4);
+  std::vector<Frame> trace;
+  for (int i = 0; i < 200; ++i) {
+    trace.push_back(gen.NextFrame());
+  }
+
+  // Baseline.
+  MultiplexedChannel wire1(ChannelId(0), "arpanet");
+  InKernelNetworkStack stack(&fx.cost, &fx.metrics);
+  stack.AttachArpanet(&wire1);
+  for (const Frame& f : trace) {
+    wire1.Inject(f);
+  }
+  stack.PumpAll();
+
+  // New design.
+  MultiplexedChannel wire2(ChannelId(0), "arpanet");
+  GenericDemux demux(&fx.cost, &fx.metrics, /*queue_capacity=*/512);
+  demux.AttachChannel(&wire2);
+  NcpProtocolUser ncp(&fx.cost, &fx.metrics, &demux, ChannelId(0));
+  for (const Frame& f : trace) {
+    wire2.Inject(f);
+  }
+  demux.Pump();
+  for (uint16_t sub = 0; sub < 4; ++sub) {
+    ncp.PumpSubchannel(SubchannelId(sub));
+  }
+
+  for (uint16_t sub = 0; sub < 4; ++sub) {
+    while (true) {
+      auto from_kernel = stack.ReceiveArpanet(SubchannelId(sub));
+      auto from_user = ncp.Receive(SubchannelId(sub));
+      ASSERT_EQ(from_kernel.has_value(), from_user.has_value()) << "sub " << sub;
+      if (!from_kernel.has_value()) {
+        break;
+      }
+      EXPECT_EQ(from_kernel->seq, from_user->seq);
+      EXPECT_EQ(from_kernel->payload, from_user->payload);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mks

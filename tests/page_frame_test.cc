@@ -1,0 +1,192 @@
+// Direct unit tests of the page frame manager, below the gate layer.
+#include <gtest/gtest.h>
+
+#include "tests/kernel_fixture.h"
+
+namespace mks {
+namespace {
+
+// A harness exposing one segment's paging machinery directly.
+struct PfmFixture {
+  PfmFixture() : fx(SmallConfig()) {
+    EXPECT_TRUE(fx.boot_status.ok());
+    segno = fx.MustCreate(">pfm>victim");
+    entry = fx.kernel.known_segments().Lookup(fx.pid, segno);
+    EXPECT_NE(entry, nullptr);
+  }
+
+  static KernelConfig SmallConfig() {
+    KernelConfig config;
+    config.memory_frames = 48;
+    return config;
+  }
+
+  AstEntry* Ast() {
+    const uint32_t index = fx.kernel.segments().FindIndex(entry->home.uid);
+    return index == kNoAst ? nullptr : fx.kernel.segments().Get(index);
+  }
+
+  KernelFixture fx;
+  Segno segno{};
+  const KstEntry* entry = nullptr;
+};
+
+TEST(PageFrame, AddPageRejectsDuplicates) {
+  PfmFixture h;
+  ASSERT_TRUE(h.fx.kernel.gates().Write(*h.fx.ctx, h.segno, 0, 1).ok());
+  AstEntry* ast = h.Ast();
+  ASSERT_NE(ast, nullptr);
+  EXPECT_EQ(h.fx.kernel.page_frames()
+                .AddPage(&ast->page_table, 0, ast->pack, ast->vtoc, ast->quota_cell,
+                         ast->page_ec)
+                .code(),
+            Code::kFailedPrecondition);
+}
+
+TEST(PageFrame, EvictAndRefault) {
+  PfmFixture h;
+  KernelGates& gates = h.fx.kernel.gates();
+  ASSERT_TRUE(gates.Write(*h.fx.ctx, h.segno, 5, 99).ok());
+  AstEntry* ast = h.Ast();
+  ASSERT_NE(ast, nullptr);
+  ASSERT_TRUE(ast->page_table.ptws[0].in_core);
+  const uint32_t free_before = h.fx.kernel.page_frames().free_frames();
+  ASSERT_TRUE(h.fx.kernel.page_frames()
+                  .EvictPage(&ast->page_table, 0, ast->pack, ast->vtoc, ast->quota_cell,
+                             ast->page_ec)
+                  .ok());
+  EXPECT_FALSE(ast->page_table.ptws[0].in_core);
+  EXPECT_EQ(h.fx.kernel.page_frames().free_frames(), free_before + 1);
+  // Refault through the gate: the data comes back from the record.
+  auto value = gates.Read(*h.fx.ctx, h.segno, 5);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 99u);
+}
+
+TEST(PageFrame, EvictingAnAbsentPageIsANoOp) {
+  PfmFixture h;
+  ASSERT_TRUE(h.fx.kernel.gates().Write(*h.fx.ctx, h.segno, 0, 1).ok());
+  AstEntry* ast = h.Ast();
+  EXPECT_TRUE(h.fx.kernel.page_frames()
+                  .EvictPage(&ast->page_table, 3, ast->pack, ast->vtoc, ast->quota_cell,
+                             ast->page_ec)
+                  .ok());
+}
+
+TEST(PageFrame, WriterDaemonCleansModifiedPages) {
+  PfmFixture h;
+  KernelGates& gates = h.fx.kernel.gates();
+  for (uint32_t p = 0; p < 6; ++p) {
+    ASSERT_TRUE(gates.Write(*h.fx.ctx, h.segno, p * kPageWords, p + 1).ok());
+  }
+  AstEntry* ast = h.Ast();
+  // The daemon skips recently-used pages; age them first.
+  for (uint32_t p = 0; p < 6; ++p) {
+    ast->page_table.ptws[p].used = false;
+  }
+  EXPECT_TRUE(h.fx.kernel.page_frames().PageWriterStep(16));
+  EXPECT_GT(h.fx.kernel.metrics().Get("pfm.daemon_writes"), 0u);
+  for (uint32_t p = 0; p < 6; ++p) {
+    EXPECT_FALSE(ast->page_table.ptws[p].modified) << p;
+    EXPECT_TRUE(ast->page_table.ptws[p].in_core) << p;  // cleaned, not evicted
+  }
+  // Nothing left to write on the second pass.
+  EXPECT_FALSE(h.fx.kernel.page_frames().PageWriterStep(16));
+}
+
+TEST(PageFrame, ZeroScanChargedOnlyForModifiedEvictions) {
+  PfmFixture h;
+  KernelGates& gates = h.fx.kernel.gates();
+  ASSERT_TRUE(gates.Write(*h.fx.ctx, h.segno, 0, 1).ok());
+  AstEntry* ast = h.Ast();
+  const uint64_t scans_before = h.fx.kernel.metrics().Get("hw.zero_scans");
+  // First eviction: modified -> scanned.
+  ASSERT_TRUE(h.fx.kernel.page_frames()
+                  .EvictPage(&ast->page_table, 0, ast->pack, ast->vtoc, ast->quota_cell,
+                             ast->page_ec)
+                  .ok());
+  EXPECT_EQ(h.fx.kernel.metrics().Get("hw.zero_scans"), scans_before + 1);
+  // Fault it back READ-only and evict again: clean -> no scan.
+  ASSERT_TRUE(gates.Read(*h.fx.ctx, h.segno, 0).ok());
+  ASSERT_TRUE(h.fx.kernel.page_frames()
+                  .EvictPage(&ast->page_table, 0, ast->pack, ast->vtoc, ast->quota_cell,
+                             ast->page_ec)
+                  .ok());
+  EXPECT_EQ(h.fx.kernel.metrics().Get("hw.zero_scans"), scans_before + 1);
+}
+
+TEST(PageFrame, SequentialSweepLargerThanMemoryMakesProgress) {
+  KernelConfig config;
+  config.memory_frames = 48;
+  config.ast_slots = 16;
+  KernelFixture fx{config};
+  ASSERT_TRUE(fx.boot_status.ok());
+  const Segno segno = fx.MustCreate(">pfm>big");
+  KernelGates& gates = fx.kernel.gates();
+  for (uint32_t p = 0; p < 64; ++p) {
+    ASSERT_TRUE(gates.Write(*fx.ctx, segno, p * kPageWords + p, p).ok()) << p;
+  }
+  for (uint32_t p = 0; p < 64; ++p) {
+    auto value = gates.Read(*fx.ctx, segno, p * kPageWords + p);
+    ASSERT_TRUE(value.ok()) << p;
+    EXPECT_EQ(*value, p);
+  }
+  EXPECT_GT(fx.kernel.metrics().Get("pfm.evictions"), 0u);
+  EXPECT_GT(fx.kernel.metrics().Get("pfm.writebacks"), 0u);
+  EXPECT_TRUE(fx.kernel.AuditIntegrity().empty());
+}
+
+TEST(KnownSegment, InitiateAssignsDistinctSegnosPerProcess) {
+  KernelFixture fx;
+  ASSERT_TRUE(fx.boot_status.ok());
+  const Segno a = fx.MustCreate(">k>a");
+  const Segno b = fx.MustCreate(">k>b");
+  EXPECT_NE(a.value, b.value);
+  EXPECT_GE(a.value, kSystemSegnoLimit);
+  // A second process gets its own numbering, independent of the first.
+  auto other = fx.kernel.processes().CreateProcess(TestSubject("Other"));
+  ASSERT_TRUE(other.ok());
+  ProcContext* ctx2 = fx.kernel.processes().Context(*other);
+  PathWalker walker(&fx.kernel.gates());
+  auto b2 = walker.Initiate(*ctx2, ">k>b");
+  ASSERT_TRUE(b2.ok());
+  // Different processes may reuse the same segment numbers for different
+  // segments; identity lives in the uid, not the number.
+  const KstEntry* mine = fx.kernel.known_segments().Lookup(fx.pid, b);
+  const KstEntry* theirs = fx.kernel.known_segments().Lookup(*other, *b2);
+  ASSERT_NE(mine, nullptr);
+  ASSERT_NE(theirs, nullptr);
+  EXPECT_EQ(mine->home.uid.value, theirs->home.uid.value);
+}
+
+TEST(KnownSegment, SegnoOfFindsBindings) {
+  KernelFixture fx;
+  ASSERT_TRUE(fx.boot_status.ok());
+  const Segno segno = fx.MustCreate(">k>x");
+  const KstEntry* entry = fx.kernel.known_segments().Lookup(fx.pid, segno);
+  ASSERT_NE(entry, nullptr);
+  auto found = fx.kernel.known_segments().SegnoOf(fx.pid, entry->home.uid);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->value, segno.value);
+  EXPECT_EQ(fx.kernel.known_segments().SegnoOf(fx.pid, SegmentUid(0xdead)).code(),
+            Code::kNotFound);
+}
+
+TEST(KnownSegment, KstExhaustionReported) {
+  KernelConfig config;
+  config.user_sdw_count = 8;  // tiny KST (some slots used by the state segment)
+  KernelFixture fx{config};
+  ASSERT_TRUE(fx.boot_status.ok());
+  Status last = Status::Ok();
+  for (int i = 0; i < 12 && last.ok(); ++i) {
+    PathWalker walker(&fx.kernel.gates());
+    auto entry = walker.CreateSegment(*fx.ctx, ">k>f" + std::to_string(i), WorldAcl(),
+                                      Label::SystemLow());
+    ASSERT_TRUE(entry.ok());
+    last = fx.kernel.gates().Initiate(*fx.ctx, *entry).status();
+  }
+  EXPECT_EQ(last.code(), Code::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace mks

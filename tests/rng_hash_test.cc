@@ -1,0 +1,101 @@
+// Tests for deterministic randomness and hashing.
+#include <gtest/gtest.h>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+
+namespace mks {
+namespace {
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  bool differs = false;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    const uint64_t v = rng.NextInRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ZipfStaysInRangeAndSkews) {
+  Rng rng(123);
+  uint64_t low_half = 0;
+  constexpr int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    const uint64_t v = rng.NextZipf(100, 1.1);
+    ASSERT_LT(v, 100u);
+    if (v < 50) {
+      ++low_half;
+    }
+  }
+  // A Zipf(1.1) draw over 100 ranks lands in the first half far more than
+  // uniformly.
+  EXPECT_GT(low_half, static_cast<uint64_t>(kDraws) * 7 / 10);
+}
+
+TEST(Rng, BurstRespectsCap) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const uint32_t burst = rng.NextBurst(0.9, 8);
+    EXPECT_GE(burst, 1u);
+    EXPECT_LE(burst, 8u);
+  }
+}
+
+TEST(Fnv, MatchesReferenceValues) {
+  // FNV-1a 64 reference: empty string hashes to the offset basis.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  // "a" -> known FNV-1a 64 value.
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv, MixOrderMatters) {
+  const uint64_t h1 = Fnv1a64Mix(Fnv1a64Mix(1, 2), 3);
+  const uint64_t h2 = Fnv1a64Mix(Fnv1a64Mix(1, 3), 2);
+  EXPECT_NE(h1, h2);
+}
+
+TEST(Sha256, KnownVectors) {
+  // NIST test vectors.
+  EXPECT_EQ(Sha256::ToHex(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(Sha256::ToHex(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(Sha256::ToHex(Sha256::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Sha256 hasher;
+  hasher.Update("hello ");
+  hasher.Update("world");
+  EXPECT_EQ(Sha256::ToHex(hasher.Finish()), Sha256::ToHex(Sha256::Hash("hello world")));
+}
+
+TEST(Sha256, LongInputCrossesBlockBoundaries) {
+  std::string long_input(1000, 'x');
+  Sha256 incremental;
+  for (size_t i = 0; i < long_input.size(); i += 7) {
+    incremental.Update(long_input.substr(i, 7));
+  }
+  EXPECT_EQ(Sha256::ToHex(incremental.Finish()), Sha256::ToHex(Sha256::Hash(long_input)));
+}
+
+}  // namespace
+}  // namespace mks

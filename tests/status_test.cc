@@ -1,0 +1,72 @@
+// Tests for the Status/Result error model.
+#include <gtest/gtest.h>
+
+#include "src/common/status.h"
+
+namespace mks {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s(Code::kQuotaOverflow, "segment >udd>x");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "quota_overflow: segment >udd>x");
+}
+
+TEST(Status, HistoricalConditionNames) {
+  EXPECT_EQ(CodeName(Code::kNoAccess), "no_access");
+  EXPECT_EQ(CodeName(Code::kNoEntry), "no_entry");
+  EXPECT_EQ(CodeName(Code::kPackFull), "pack_full");
+  EXPECT_EQ(CodeName(Code::kQuotaOverflow), "quota_overflow");
+  EXPECT_EQ(CodeName(Code::kNameDuplication), "name_duplication");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+  EXPECT_EQ(r.code(), Code::kOk);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status(Code::kPackFull, "pack 3"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), Code::kPackFull);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Status FailWhenNegative(int x) {
+  if (x < 0) {
+    return Status(Code::kInvalidArgument, "negative");
+  }
+  return Status::Ok();
+}
+
+Result<int> Doubled(int x) {
+  MKS_RETURN_IF_ERROR(FailWhenNegative(x));
+  return 2 * x;
+}
+
+Result<int> Chained(int x) {
+  MKS_ASSIGN_OR_RETURN(int doubled, Doubled(x));
+  MKS_ASSIGN_OR_RETURN(int again, Doubled(doubled));
+  return again;
+}
+
+TEST(Result, PropagationMacros) {
+  auto good = Chained(3);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 12);
+  auto bad = Chained(-1);
+  EXPECT_EQ(bad.code(), Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mks

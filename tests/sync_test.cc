@@ -1,0 +1,133 @@
+// Tests for eventcounts, sequencers, and the real-memory message queue.
+#include <gtest/gtest.h>
+
+#include "src/sync/eventcount.h"
+#include "src/sync/message_queue.h"
+
+namespace mks {
+namespace {
+
+TEST(Eventcount, AdvanceWakesSatisfiedWaiters) {
+  Metrics metrics;
+  EventcountTable table(&metrics);
+  const EventcountId ec = table.Create("page_arrival");
+  EXPECT_EQ(table.Read(ec), 0u);
+
+  EXPECT_FALSE(table.AwaitOrEnqueue(ec, 1, VpId(1)));
+  EXPECT_FALSE(table.AwaitOrEnqueue(ec, 2, VpId(2)));
+  EXPECT_EQ(table.WaiterCount(ec), 2u);
+
+  auto woken = table.Advance(ec);
+  ASSERT_EQ(woken.size(), 1u);
+  EXPECT_EQ(woken[0].value, 1u);
+  EXPECT_EQ(table.WaiterCount(ec), 1u);
+
+  woken = table.Advance(ec);
+  ASSERT_EQ(woken.size(), 1u);
+  EXPECT_EQ(woken[0].value, 2u);
+}
+
+TEST(Eventcount, AwaitAlreadySatisfiedDoesNotEnqueue) {
+  Metrics metrics;
+  EventcountTable table(&metrics);
+  const EventcountId ec = table.Create("x");
+  table.Advance(ec);
+  EXPECT_TRUE(table.AwaitOrEnqueue(ec, 1, VpId(1)));
+  EXPECT_EQ(table.WaiterCount(ec), 0u);
+}
+
+TEST(Eventcount, BroadcastWakesAllWaitersAtSameTarget) {
+  Metrics metrics;
+  EventcountTable table(&metrics);
+  const EventcountId ec = table.Create("x");
+  for (uint16_t vp = 0; vp < 5; ++vp) {
+    EXPECT_FALSE(table.AwaitOrEnqueue(ec, 1, VpId(vp)));
+  }
+  // "Notifies all processes that have been waiting for this event."
+  EXPECT_EQ(table.Advance(ec).size(), 5u);
+}
+
+TEST(Eventcount, CancelWaitRemovesWaiter) {
+  Metrics metrics;
+  EventcountTable table(&metrics);
+  const EventcountId ec = table.Create("x");
+  EXPECT_FALSE(table.AwaitOrEnqueue(ec, 1, VpId(3)));
+  table.CancelWait(ec, VpId(3));
+  EXPECT_EQ(table.Advance(ec).size(), 0u);
+}
+
+TEST(Eventcount, ValuesAreMonotonic) {
+  Metrics metrics;
+  EventcountTable table(&metrics);
+  const EventcountId ec = table.Create("x");
+  uint64_t last = table.Read(ec);
+  for (int i = 0; i < 100; ++i) {
+    table.Advance(ec);
+    EXPECT_EQ(table.Read(ec), last + 1);
+    last = table.Read(ec);
+  }
+}
+
+TEST(Sequencer, TicketsStrictlyIncrease) {
+  Sequencer seq;
+  uint64_t prev = seq.Ticket();
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t t = seq.Ticket();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(RealMemoryQueue, FifoRoundTrip) {
+  std::vector<uint64_t> storage(RealMemoryQueue::kHeaderWords +
+                                4 * RealMemoryQueue::kSlotWords);
+  RealMemoryQueue queue{std::span<uint64_t>(storage)};
+  EXPECT_EQ(queue.capacity(), 4u);
+  EXPECT_TRUE(queue.empty());
+  ASSERT_TRUE(queue.Push(UpwardMessage{ProcessId(7), 1, 42}).ok());
+  ASSERT_TRUE(queue.Push(UpwardMessage{ProcessId(8), 2, 43}).ok());
+  auto first = queue.Pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->dest.value, 7u);
+  EXPECT_EQ(first->payload, 42u);
+  auto second = queue.Pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->dest.value, 8u);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(RealMemoryQueue, OverflowCountsDropsNeverBlocks) {
+  std::vector<uint64_t> storage(RealMemoryQueue::kHeaderWords +
+                                2 * RealMemoryQueue::kSlotWords);
+  RealMemoryQueue queue{std::span<uint64_t>(storage)};
+  ASSERT_TRUE(queue.Push(UpwardMessage{ProcessId(1), 0, 0}).ok());
+  ASSERT_TRUE(queue.Push(UpwardMessage{ProcessId(2), 0, 0}).ok());
+  EXPECT_EQ(queue.Push(UpwardMessage{ProcessId(3), 0, 0}).code(), Code::kResourceExhausted);
+  EXPECT_EQ(queue.dropped(), 1u);
+}
+
+TEST(RealMemoryQueue, WrapsAroundManyTimes) {
+  std::vector<uint64_t> storage(RealMemoryQueue::kHeaderWords +
+                                3 * RealMemoryQueue::kSlotWords);
+  RealMemoryQueue queue{std::span<uint64_t>(storage)};
+  for (uint32_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(queue.Push(UpwardMessage{ProcessId(i), i, i * 2}).ok());
+    auto msg = queue.Pop();
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->dest.value, i);
+    EXPECT_EQ(msg->payload, i * 2u);
+  }
+}
+
+TEST(RealMemoryQueue, ContentLivesInTheBackingWords) {
+  // The residency claim: every message is literally words in the span.
+  std::vector<uint64_t> storage(RealMemoryQueue::kHeaderWords +
+                                2 * RealMemoryQueue::kSlotWords);
+  RealMemoryQueue queue{std::span<uint64_t>(storage)};
+  ASSERT_TRUE(queue.Push(UpwardMessage{ProcessId(9), 5, 1234}).ok());
+  EXPECT_EQ(storage[RealMemoryQueue::kHeaderWords], 9u);
+  EXPECT_EQ(storage[RealMemoryQueue::kHeaderWords + 2], 1234u);
+}
+
+}  // namespace
+}  // namespace mks
