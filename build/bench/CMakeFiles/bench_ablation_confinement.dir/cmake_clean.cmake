@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_confinement.dir/bench_ablation_confinement.cc.o"
+  "CMakeFiles/bench_ablation_confinement.dir/bench_ablation_confinement.cc.o.d"
+  "bench_ablation_confinement"
+  "bench_ablation_confinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_confinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

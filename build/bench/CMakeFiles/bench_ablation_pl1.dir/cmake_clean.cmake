@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pl1.dir/bench_ablation_pl1.cc.o"
+  "CMakeFiles/bench_ablation_pl1.dir/bench_ablation_pl1.cc.o.d"
+  "bench_ablation_pl1"
+  "bench_ablation_pl1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pl1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vp_pool.dir/bench_ablation_vp_pool.cc.o"
+  "CMakeFiles/bench_ablation_vp_pool.dir/bench_ablation_vp_pool.cc.o.d"
+  "bench_ablation_vp_pool"
+  "bench_ablation_vp_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vp_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_superficial.dir/bench_fig2_superficial.cc.o"
+  "CMakeFiles/bench_fig2_superficial.dir/bench_fig2_superficial.cc.o.d"
+  "bench_fig2_superficial"
+  "bench_fig2_superficial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_superficial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

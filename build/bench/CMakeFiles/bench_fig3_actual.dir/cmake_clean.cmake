@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_actual.dir/bench_fig3_actual.cc.o"
+  "CMakeFiles/bench_fig3_actual.dir/bench_fig3_actual.cc.o.d"
+  "bench_fig3_actual"
+  "bench_fig3_actual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_actual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_answering.dir/bench_perf_answering.cc.o"
+  "CMakeFiles/bench_perf_answering.dir/bench_perf_answering.cc.o.d"
+  "bench_perf_answering"
+  "bench_perf_answering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_answering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

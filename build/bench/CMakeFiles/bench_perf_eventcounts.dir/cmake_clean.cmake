@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_eventcounts.dir/bench_perf_eventcounts.cc.o"
+  "CMakeFiles/bench_perf_eventcounts.dir/bench_perf_eventcounts.cc.o.d"
+  "bench_perf_eventcounts"
+  "bench_perf_eventcounts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_eventcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

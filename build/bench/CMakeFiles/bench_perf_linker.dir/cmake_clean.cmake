@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_linker.dir/bench_perf_linker.cc.o"
+  "CMakeFiles/bench_perf_linker.dir/bench_perf_linker.cc.o.d"
+  "bench_perf_linker"
+  "bench_perf_linker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_linker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_memory_mgmt.dir/bench_perf_memory_mgmt.cc.o"
+  "CMakeFiles/bench_perf_memory_mgmt.dir/bench_perf_memory_mgmt.cc.o.d"
+  "bench_perf_memory_mgmt"
+  "bench_perf_memory_mgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_memory_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_name_manager.dir/bench_perf_name_manager.cc.o"
+  "CMakeFiles/bench_perf_name_manager.dir/bench_perf_name_manager.cc.o.d"
+  "bench_perf_name_manager"
+  "bench_perf_name_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_name_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_network.dir/bench_perf_network.cc.o"
+  "CMakeFiles/bench_perf_network.dir/bench_perf_network.cc.o.d"
+  "bench_perf_network"
+  "bench_perf_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

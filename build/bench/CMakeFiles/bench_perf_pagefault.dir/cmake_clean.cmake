@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_pagefault.dir/bench_perf_pagefault.cc.o"
+  "CMakeFiles/bench_perf_pagefault.dir/bench_perf_pagefault.cc.o.d"
+  "bench_perf_pagefault"
+  "bench_perf_pagefault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_pagefault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

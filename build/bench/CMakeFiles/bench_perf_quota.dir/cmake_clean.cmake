@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_quota.dir/bench_perf_quota.cc.o"
+  "CMakeFiles/bench_perf_quota.dir/bench_perf_quota.cc.o.d"
+  "bench_perf_quota"
+  "bench_perf_quota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_quota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_scheduler.dir/bench_perf_scheduler.cc.o"
+  "CMakeFiles/bench_perf_scheduler.dir/bench_perf_scheduler.cc.o.d"
+  "bench_perf_scheduler"
+  "bench_perf_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_kernel_size.dir/bench_table1_kernel_size.cc.o"
+  "CMakeFiles/bench_table1_kernel_size.dir/bench_table1_kernel_size.cc.o.d"
+  "bench_table1_kernel_size"
+  "bench_table1_kernel_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_kernel_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_secure_file_service.dir/secure_file_service.cpp.o"
+  "CMakeFiles/example_secure_file_service.dir/secure_file_service.cpp.o.d"
+  "example_secure_file_service"
+  "example_secure_file_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_secure_file_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_secure_file_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tiger_team.dir/tiger_team.cpp.o"
+  "CMakeFiles/example_tiger_team.dir/tiger_team.cpp.o.d"
+  "example_tiger_team"
+  "example_tiger_team.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tiger_team.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_tiger_team.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_time_sharing.dir/time_sharing.cpp.o"
+  "CMakeFiles/example_time_sharing.dir/time_sharing.cpp.o.d"
+  "example_time_sharing"
+  "example_time_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_time_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

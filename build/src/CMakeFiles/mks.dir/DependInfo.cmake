@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aim/monitor.cc" "src/CMakeFiles/mks.dir/aim/monitor.cc.o" "gcc" "src/CMakeFiles/mks.dir/aim/monitor.cc.o.d"
+  "/root/repo/src/answering/auth.cc" "src/CMakeFiles/mks.dir/answering/auth.cc.o" "gcc" "src/CMakeFiles/mks.dir/answering/auth.cc.o.d"
+  "/root/repo/src/answering/service.cc" "src/CMakeFiles/mks.dir/answering/service.cc.o" "gcc" "src/CMakeFiles/mks.dir/answering/service.cc.o.d"
+  "/root/repo/src/baseline/supervisor.cc" "src/CMakeFiles/mks.dir/baseline/supervisor.cc.o" "gcc" "src/CMakeFiles/mks.dir/baseline/supervisor.cc.o.d"
+  "/root/repo/src/census/census.cc" "src/CMakeFiles/mks.dir/census/census.cc.o" "gcc" "src/CMakeFiles/mks.dir/census/census.cc.o.d"
+  "/root/repo/src/common/hash.cc" "src/CMakeFiles/mks.dir/common/hash.cc.o" "gcc" "src/CMakeFiles/mks.dir/common/hash.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/mks.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/mks.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mks.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mks.dir/common/status.cc.o.d"
+  "/root/repo/src/deps/graph.cc" "src/CMakeFiles/mks.dir/deps/graph.cc.o" "gcc" "src/CMakeFiles/mks.dir/deps/graph.cc.o.d"
+  "/root/repo/src/deps/tracker.cc" "src/CMakeFiles/mks.dir/deps/tracker.cc.o" "gcc" "src/CMakeFiles/mks.dir/deps/tracker.cc.o.d"
+  "/root/repo/src/disk/pack.cc" "src/CMakeFiles/mks.dir/disk/pack.cc.o" "gcc" "src/CMakeFiles/mks.dir/disk/pack.cc.o.d"
+  "/root/repo/src/fs/linker.cc" "src/CMakeFiles/mks.dir/fs/linker.cc.o" "gcc" "src/CMakeFiles/mks.dir/fs/linker.cc.o.d"
+  "/root/repo/src/fs/path_walker.cc" "src/CMakeFiles/mks.dir/fs/path_walker.cc.o" "gcc" "src/CMakeFiles/mks.dir/fs/path_walker.cc.o.d"
+  "/root/repo/src/fs/ref_name.cc" "src/CMakeFiles/mks.dir/fs/ref_name.cc.o" "gcc" "src/CMakeFiles/mks.dir/fs/ref_name.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/CMakeFiles/mks.dir/hw/machine.cc.o" "gcc" "src/CMakeFiles/mks.dir/hw/machine.cc.o.d"
+  "/root/repo/src/kernel/address_space.cc" "src/CMakeFiles/mks.dir/kernel/address_space.cc.o" "gcc" "src/CMakeFiles/mks.dir/kernel/address_space.cc.o.d"
+  "/root/repo/src/kernel/core_segment.cc" "src/CMakeFiles/mks.dir/kernel/core_segment.cc.o" "gcc" "src/CMakeFiles/mks.dir/kernel/core_segment.cc.o.d"
+  "/root/repo/src/kernel/directory.cc" "src/CMakeFiles/mks.dir/kernel/directory.cc.o" "gcc" "src/CMakeFiles/mks.dir/kernel/directory.cc.o.d"
+  "/root/repo/src/kernel/gates.cc" "src/CMakeFiles/mks.dir/kernel/gates.cc.o" "gcc" "src/CMakeFiles/mks.dir/kernel/gates.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/CMakeFiles/mks.dir/kernel/kernel.cc.o" "gcc" "src/CMakeFiles/mks.dir/kernel/kernel.cc.o.d"
+  "/root/repo/src/kernel/known_segment.cc" "src/CMakeFiles/mks.dir/kernel/known_segment.cc.o" "gcc" "src/CMakeFiles/mks.dir/kernel/known_segment.cc.o.d"
+  "/root/repo/src/kernel/page_frame.cc" "src/CMakeFiles/mks.dir/kernel/page_frame.cc.o" "gcc" "src/CMakeFiles/mks.dir/kernel/page_frame.cc.o.d"
+  "/root/repo/src/kernel/quota_cell.cc" "src/CMakeFiles/mks.dir/kernel/quota_cell.cc.o" "gcc" "src/CMakeFiles/mks.dir/kernel/quota_cell.cc.o.d"
+  "/root/repo/src/kernel/segment.cc" "src/CMakeFiles/mks.dir/kernel/segment.cc.o" "gcc" "src/CMakeFiles/mks.dir/kernel/segment.cc.o.d"
+  "/root/repo/src/kernel/uproc.cc" "src/CMakeFiles/mks.dir/kernel/uproc.cc.o" "gcc" "src/CMakeFiles/mks.dir/kernel/uproc.cc.o.d"
+  "/root/repo/src/kernel/vproc.cc" "src/CMakeFiles/mks.dir/kernel/vproc.cc.o" "gcc" "src/CMakeFiles/mks.dir/kernel/vproc.cc.o.d"
+  "/root/repo/src/net/demux.cc" "src/CMakeFiles/mks.dir/net/demux.cc.o" "gcc" "src/CMakeFiles/mks.dir/net/demux.cc.o.d"
+  "/root/repo/src/net/kernel_stack.cc" "src/CMakeFiles/mks.dir/net/kernel_stack.cc.o" "gcc" "src/CMakeFiles/mks.dir/net/kernel_stack.cc.o.d"
+  "/root/repo/src/sync/eventcount.cc" "src/CMakeFiles/mks.dir/sync/eventcount.cc.o" "gcc" "src/CMakeFiles/mks.dir/sync/eventcount.cc.o.d"
+  "/root/repo/src/sync/message_queue.cc" "src/CMakeFiles/mks.dir/sync/message_queue.cc.o" "gcc" "src/CMakeFiles/mks.dir/sync/message_queue.cc.o.d"
+  "/root/repo/src/verify/flow_model.cc" "src/CMakeFiles/mks.dir/verify/flow_model.cc.o" "gcc" "src/CMakeFiles/mks.dir/verify/flow_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aim_test.cc" "tests/CMakeFiles/mks_tests.dir/aim_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/aim_test.cc.o.d"
+  "/root/repo/tests/answering_test.cc" "tests/CMakeFiles/mks_tests.dir/answering_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/answering_test.cc.o.d"
+  "/root/repo/tests/baseline_services_test.cc" "tests/CMakeFiles/mks_tests.dir/baseline_services_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/baseline_services_test.cc.o.d"
+  "/root/repo/tests/baseline_test.cc" "tests/CMakeFiles/mks_tests.dir/baseline_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/baseline_test.cc.o.d"
+  "/root/repo/tests/census_test.cc" "tests/CMakeFiles/mks_tests.dir/census_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/census_test.cc.o.d"
+  "/root/repo/tests/confinement_test.cc" "tests/CMakeFiles/mks_tests.dir/confinement_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/confinement_test.cc.o.d"
+  "/root/repo/tests/core_segment_test.cc" "tests/CMakeFiles/mks_tests.dir/core_segment_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/core_segment_test.cc.o.d"
+  "/root/repo/tests/deps_graph_test.cc" "tests/CMakeFiles/mks_tests.dir/deps_graph_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/deps_graph_test.cc.o.d"
+  "/root/repo/tests/directory_test.cc" "tests/CMakeFiles/mks_tests.dir/directory_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/directory_test.cc.o.d"
+  "/root/repo/tests/disk_test.cc" "tests/CMakeFiles/mks_tests.dir/disk_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/disk_test.cc.o.d"
+  "/root/repo/tests/flow_model_test.cc" "tests/CMakeFiles/mks_tests.dir/flow_model_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/flow_model_test.cc.o.d"
+  "/root/repo/tests/fs_user_ring_test.cc" "tests/CMakeFiles/mks_tests.dir/fs_user_ring_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/fs_user_ring_test.cc.o.d"
+  "/root/repo/tests/fullpack_test.cc" "tests/CMakeFiles/mks_tests.dir/fullpack_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/fullpack_test.cc.o.d"
+  "/root/repo/tests/hw_test.cc" "tests/CMakeFiles/mks_tests.dir/hw_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/hw_test.cc.o.d"
+  "/root/repo/tests/ipc_test.cc" "tests/CMakeFiles/mks_tests.dir/ipc_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/ipc_test.cc.o.d"
+  "/root/repo/tests/kernel_boot_test.cc" "tests/CMakeFiles/mks_tests.dir/kernel_boot_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/kernel_boot_test.cc.o.d"
+  "/root/repo/tests/lock_protocol_test.cc" "tests/CMakeFiles/mks_tests.dir/lock_protocol_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/lock_protocol_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/mks_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/page_frame_test.cc" "tests/CMakeFiles/mks_tests.dir/page_frame_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/page_frame_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/mks_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/quota_test.cc" "tests/CMakeFiles/mks_tests.dir/quota_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/quota_test.cc.o.d"
+  "/root/repo/tests/rng_hash_test.cc" "tests/CMakeFiles/mks_tests.dir/rng_hash_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/rng_hash_test.cc.o.d"
+  "/root/repo/tests/segment_manager_test.cc" "tests/CMakeFiles/mks_tests.dir/segment_manager_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/segment_manager_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/mks_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/mks_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/sync_test.cc" "tests/CMakeFiles/mks_tests.dir/sync_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/sync_test.cc.o.d"
+  "/root/repo/tests/uproc_test.cc" "tests/CMakeFiles/mks_tests.dir/uproc_test.cc.o" "gcc" "tests/CMakeFiles/mks_tests.dir/uproc_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
