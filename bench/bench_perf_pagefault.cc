@@ -50,7 +50,13 @@ double BaselineFaultCost(double conflict_rate, uint64_t* retries) {
          static_cast<double>(kRounds * kPages);
 }
 
-double KernelFaultCost(uint64_t* locked_waits) {
+struct AssocStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t flushes = 0;
+};
+
+double KernelFaultCost(uint64_t* locked_waits, AssocStats* assoc) {
   KernelConfig config;
   config.memory_frames = 64;
   config.records_per_pack = 8192;
@@ -81,6 +87,9 @@ double KernelFaultCost(uint64_t* locked_waits) {
   }
   (void)faults_before;
   *locked_waits = kernel.metrics().Get("gates.locked_descriptor_waits");
+  assoc->hits = kernel.metrics().Get("hw.assoc_hits");
+  assoc->misses = kernel.metrics().Get("hw.assoc_misses");
+  assoc->flushes = kernel.metrics().Get("hw.assoc_flushes");
   return static_cast<double>(kernel.clock().now() - before) /
          static_cast<double>(kRounds * kPages);
 }
@@ -104,9 +113,15 @@ int main() {
                 cost, (unsigned long long)retries);
   }
   uint64_t locked_waits = 0;
-  const double kernel_cost = KernelFaultCost(&locked_waits);
+  AssocStats assoc;
+  const double kernel_cost = KernelFaultCost(&locked_waits, &assoc);
   std::printf("%-44s %14.0f %12llu\n", "new design, descriptor lock bit", kernel_cost,
               (unsigned long long)locked_waits);
+  std::printf("\nassociative memory on the kernel run: %llu hits / %llu misses / %llu flushes\n"
+              "(the cyclic sweep defeats it by design: every page is evicted and\n"
+              "invalidated before its next touch)\n",
+              (unsigned long long)assoc.hits, (unsigned long long)assoc.misses,
+              (unsigned long long)assoc.flushes);
 
   std::printf(
       "\nThe baseline pays the global lock + interpretive retranslation on every\n"

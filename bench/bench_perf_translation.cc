@@ -1,0 +1,221 @@
+// The fast-path reference pipeline: the 6180's associative memory as an
+// HwFeatures ablation knob.  Without it, every reference fetches an SDW and
+// a PTW from core; with it, a hit pays only the associative search.  The
+// bench sweeps cache sizes over a locality-heavy and a locality-hostile
+// reference string and verifies that the cache changes only the cost of a
+// reference, never its outcome: the fault/address sequence checksum must be
+// identical at every size.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/hw/machine.h"
+
+namespace mks {
+namespace {
+
+constexpr uint32_t kSegments = 8;       // ordinary read/write segments
+constexpr uint32_t kPagesPerSeg = 32;   // 256 resident pages total
+constexpr uint16_t kFaultSegno = kSegments;      // read-only, half resident
+constexpr uint16_t kMissingSegno = kSegments + 1;  // never present
+constexpr size_t kRefs = 50000;
+
+struct Ref {
+  uint16_t segno;
+  uint32_t offset;
+  AccessMode mode;
+};
+
+// A standalone translation rig: descriptor segment + page tables, every
+// ordinary page resident.  No PrimaryMemory — the bench charges translation
+// only, which is what the associative memory changes.
+struct Rig {
+  Clock clock;
+  CostModel cost{&clock};
+  Metrics metrics;
+  std::vector<PageTable> page_tables;
+  DescriptorSegment ds;
+  Processor processor;
+
+  explicit Rig(uint16_t assoc_entries)
+      : page_tables(kSegments + 1),
+        processor(MakeFeatures(assoc_entries), &cost, &metrics) {
+    ds.sdws.assign(kSegments + 2, Sdw{});
+    for (uint32_t s = 0; s < kSegments; ++s) {
+      PageTable& pt = page_tables[s];
+      pt.ptws.assign(kPagesPerSeg, Ptw{});
+      for (uint32_t p = 0; p < kPagesPerSeg; ++p) {
+        pt.ptws[p] = Ptw{s * kPagesPerSeg + p, true, false, false, false, false};
+      }
+      ds.sdws[s] = Sdw{true, &pt, kPagesPerSeg, true, true, true, 4};
+    }
+    // The fault segment: read-only, bound covers 16 pages, only the first 8
+    // resident — references here must fault identically at every cache size.
+    PageTable& fpt = page_tables[kSegments];
+    fpt.ptws.assign(16, Ptw{});
+    for (uint32_t p = 0; p < 16; ++p) {
+      fpt.ptws[p] = Ptw{p, p < 8, false, false, false, false};
+    }
+    ds.sdws[kFaultSegno] = Sdw{true, &fpt, 16, true, false, false, 4};
+    // kMissingSegno stays Sdw{}: not present.
+    processor.set_user_ds(&ds);
+  }
+
+  static HwFeatures MakeFeatures(uint16_t entries) {
+    HwFeatures f;  // no second DSBR: segno indexes the user space directly
+    f.associative_memory = true;
+    f.associative_entries = entries;
+    return f;
+  }
+};
+
+// Working set of a few pages in one segment at a time, long bursts.
+std::vector<Ref> LocalityHeavyTrace() {
+  Rng rng(1977);
+  std::vector<Ref> trace;
+  trace.reserve(kRefs);
+  uint16_t segno = 0;
+  uint32_t base_page = 0;
+  while (trace.size() < kRefs) {
+    if (rng.NextBool(0.002)) {
+      segno = static_cast<uint16_t>(rng.NextBelow(kSegments));
+      base_page = static_cast<uint32_t>(rng.NextBelow(kPagesPerSeg - 4));
+    }
+    const uint32_t page = base_page + static_cast<uint32_t>(rng.NextZipf(4, 1.2));
+    const uint32_t burst = rng.NextBurst(0.8, 16);
+    for (uint32_t i = 0; i < burst && trace.size() < kRefs; ++i) {
+      const AccessMode mode = rng.NextBool(0.3) ? AccessMode::kWrite : AccessMode::kRead;
+      trace.push_back(Ref{segno, page * kPageWords + static_cast<uint32_t>(i), mode});
+    }
+  }
+  return trace;
+}
+
+// Uniform over all 256 pages: a 16-entry cache can hold almost none of it.
+std::vector<Ref> LocalityHostileTrace() {
+  Rng rng(1973);
+  std::vector<Ref> trace;
+  trace.reserve(kRefs);
+  while (trace.size() < kRefs) {
+    const uint16_t segno = static_cast<uint16_t>(rng.NextBelow(kSegments));
+    const uint32_t page = static_cast<uint32_t>(rng.NextBelow(kPagesPerSeg));
+    const AccessMode mode = rng.NextBool(0.3) ? AccessMode::kWrite : AccessMode::kRead;
+    trace.push_back(Ref{segno, page * kPageWords, mode});
+  }
+  return trace;
+}
+
+// Sprinkle references that must fault — missing page, access violation,
+// out of bounds, missing segment — so the checksum proves the cache never
+// swallows or invents one.
+void AddFaultingRefs(std::vector<Ref>* trace) {
+  for (size_t i = 0; i < trace->size(); i += 97) {
+    Ref& ref = (*trace)[i];
+    switch ((i / 97) % 4) {
+      case 0: {  // resident read-only page, then a write to it at i+1
+        const uint32_t offset = static_cast<uint32_t>((i / 97) % 8) * kPageWords;
+        ref = Ref{kFaultSegno, offset, AccessMode::kRead};
+        if (i + 1 < trace->size()) {
+          (*trace)[i + 1] = Ref{kFaultSegno, offset, AccessMode::kWrite};
+        }
+        break;
+      }
+      case 1:  // non-resident page
+        ref = Ref{kFaultSegno, static_cast<uint32_t>(8 + (i / 97) % 8) * kPageWords,
+                  AccessMode::kRead};
+        break;
+      case 2:  // beyond the bound
+        ref = Ref{kFaultSegno, 20 * kPageWords, AccessMode::kRead};
+        break;
+      case 3:  // segment not present
+        ref = Ref{kMissingSegno, 0, AccessMode::kRead};
+        break;
+    }
+  }
+}
+
+struct RunResult {
+  double cyc_per_ref = 0;
+  double hit_rate = 0;
+  uint64_t checksum = 0;
+};
+
+RunResult Run(uint16_t entries, const std::vector<Ref>& trace) {
+  Rig rig(entries);
+  const Cycles before = rig.clock.now();
+  uint64_t checksum = 1469598103934665603ULL;  // FNV offset basis
+  for (const Ref& ref : trace) {
+    AccessResult r = rig.processor.Access(Segno(ref.segno), ref.offset, ref.mode, 4);
+    checksum = (checksum ^ (static_cast<uint64_t>(r.fault.kind) + 1)) * 1099511628211ULL;
+    if (r.ok) {
+      checksum = (checksum ^ r.abs_addr) * 1099511628211ULL;
+    }
+  }
+  RunResult result;
+  result.cyc_per_ref =
+      static_cast<double>(rig.clock.now() - before) / static_cast<double>(trace.size());
+  const uint64_t hits = rig.metrics.Get("hw.assoc_hits");
+  const uint64_t misses = rig.metrics.Get("hw.assoc_misses");
+  result.hit_rate = hits + misses == 0
+                        ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  result.checksum = checksum;
+  return result;
+}
+
+}  // namespace
+}  // namespace mks
+
+int main() {
+  using namespace mks;
+  std::printf("=== Fast path: descriptor associative memory sweep ===\n\n");
+  std::printf("workload: %zu references, %u segments x %u pages; 0 entries = every\n"
+              "reference fetches SDW+PTW from core (pre-associative hardware)\n\n",
+              kRefs, kSegments, kPagesPerSeg);
+
+  const uint16_t sweep[] = {0, 4, 16, 64};
+  struct Workload {
+    const char* name;
+    std::vector<Ref> trace;
+  };
+  Workload workloads[] = {{"locality_heavy", LocalityHeavyTrace()},
+                          {"locality_hostile", LocalityHostileTrace()}};
+  double heavy_base = 0, heavy_16 = 0;
+  bool checksums_match = true;
+  for (Workload& w : workloads) {
+    AddFaultingRefs(&w.trace);
+    std::printf("%-18s %8s %14s %10s %18s\n", w.name, "entries", "cyc/reference", "hit rate",
+                "fault checksum");
+    uint64_t expect = 0;
+    for (uint16_t entries : sweep) {
+      const RunResult r = Run(entries, w.trace);
+      if (entries == sweep[0]) {
+        expect = r.checksum;
+      }
+      checksums_match = checksums_match && r.checksum == expect;
+      if (w.trace.data() == workloads[0].trace.data()) {
+        if (entries == 0) heavy_base = r.cyc_per_ref;
+        if (entries == 16) heavy_16 = r.cyc_per_ref;
+      }
+      std::printf("%-18s %8u %14.3f %9.1f%% %18llx\n", "", entries, r.cyc_per_ref,
+                  r.hit_rate * 100, (unsigned long long)r.checksum);
+      EmitJson(JsonLine("translation")
+                   .Field("workload", w.name)
+                   .Field("entries", static_cast<uint64_t>(entries))
+                   .Field("cyc_per_ref", r.cyc_per_ref)
+                   .Field("hit_rate", r.hit_rate)
+                   .Field("checksum", r.checksum));
+    }
+    std::printf("\n");
+  }
+
+  const double speedup = heavy_16 > 0 ? heavy_base / heavy_16 : 0;
+  std::printf("locality-heavy speedup at 16 entries: %.2fx ; fault sequences identical: %s\n",
+              speedup, checksums_match ? "yes" : "NO");
+  std::printf("paper: the associative memory makes the two-level descriptor walk\n"
+              "affordable; the kernel design keeps it, invalidating explicitly at\n"
+              "eviction, deactivation, and disconnection -> %s\n",
+              (speedup >= 2.0 && checksums_match) ? "REPRODUCED" : "MISMATCH");
+  return (speedup >= 2.0 && checksums_match) ? 0 : 1;
+}

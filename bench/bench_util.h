@@ -5,11 +5,55 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 
 #include "src/fs/path_walker.h"
 #include "src/kernel/kernel.h"
 
 namespace mks {
+
+// One machine-readable result line.  Fields print in insertion order:
+//   EmitJson(JsonLine("translation").Field("entries", 16).Field("cyc_per_ref", 3.2));
+// -> {"bench": "translation", "entries": 16, "cyc_per_ref": 3.2000}
+class JsonLine {
+ public:
+  explicit JsonLine(std::string_view bench) { Quoted("bench", bench); }
+
+  JsonLine& Field(std::string_view key, uint64_t value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonLine& Field(std::string_view key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.4f", value);
+    return Raw(key, buf);
+  }
+  JsonLine& Field(std::string_view key, std::string_view value) { return Quoted(key, value); }
+
+  const std::string& body() const { return body_; }
+
+ private:
+  JsonLine& Raw(std::string_view key, std::string_view rendered) {
+    if (!body_.empty()) {
+      body_ += ", ";
+    }
+    body_ += '"';
+    body_ += key;
+    body_ += "\": ";
+    body_ += rendered;
+    return *this;
+  }
+  JsonLine& Quoted(std::string_view key, std::string_view value) {
+    std::string quoted;
+    quoted += '"';
+    quoted += value;
+    quoted += '"';
+    return Raw(key, quoted);
+  }
+
+  std::string body_;
+};
+
+inline void EmitJson(const JsonLine& line) { std::printf("{%s}\n", line.body().c_str()); }
 
 inline Acl BenchWorldAcl() {
   Acl acl;

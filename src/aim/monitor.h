@@ -57,7 +57,11 @@ enum class FlowDirection : uint8_t {
 
 class ReferenceMonitor {
  public:
-  ReferenceMonitor(Clock* clock, Metrics* metrics) : clock_(clock), metrics_(metrics) {}
+  ReferenceMonitor(Clock* clock, Metrics* metrics)
+      : clock_(clock),
+        metrics_(metrics),
+        id_flow_checks_(metrics->Intern("aim.flow_checks")),
+        id_flow_denials_(metrics->Intern("aim.flow_denials")) {}
 
   // Mandatory (AIM) check only.
   Status CheckFlow(const Subject& subject, const Label& object_label, FlowDirection dir);
@@ -77,6 +81,8 @@ class ReferenceMonitor {
  private:
   Clock* clock_;
   Metrics* metrics_;
+  MetricId id_flow_checks_;
+  MetricId id_flow_denials_;
   AuditLog audit_;
 };
 

@@ -5,7 +5,12 @@
 namespace mks {
 
 AnsweringService::AnsweringService(Kernel* kernel, Authenticator* auth, ServiceDomain domain)
-    : kernel_(kernel), auth_(auth), domain_(domain), walker_(&kernel->gates()) {}
+    : kernel_(kernel),
+      auth_(auth),
+      id_logins_(kernel->metrics().Intern("answering.logins")),
+      id_logouts_(kernel->metrics().Intern("answering.logouts")),
+      domain_(domain),
+      walker_(&kernel->gates()) {}
 
 void AnsweringService::ChargeDialogStep(int gate_calls) const {
   CostModel& cost = kernel_->ctx().cost;
@@ -78,7 +83,7 @@ Result<ProcessId> AnsweringService::Login(const Principal& who, const std::strin
   session.login_time = kernel_->clock().now();
   session.home = home.ok() ? *home : EntryId{};
   sessions_.emplace(pid, session);
-  kernel_->metrics().Inc("answering.logins");
+  kernel_->metrics().Inc(id_logins_);
   return pid;
 }
 
@@ -97,7 +102,7 @@ Status AnsweringService::Logout(ProcessId pid) {
   bill.connect_time += kernel_->clock().now() - it->second.login_time;
   MKS_RETURN_IF_ERROR(kernel_->processes().DestroyProcess(pid));
   sessions_.erase(it);
-  kernel_->metrics().Inc("answering.logouts");
+  kernel_->metrics().Inc(id_logouts_);
   return Status::Ok();
 }
 

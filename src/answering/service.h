@@ -64,6 +64,8 @@ class AnsweringService {
 
   Kernel* kernel_;
   Authenticator* auth_;
+  MetricId id_logins_;
+  MetricId id_logouts_;
   ServiceDomain domain_;
   PathWalker walker_;
   bool daemon_ready_ = false;

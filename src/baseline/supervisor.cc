@@ -17,7 +17,33 @@ constexpr int kMaxFaultDepth = 8;
 }  // namespace
 
 MonolithicSupervisor::MonolithicSupervisor(const BaselineConfig& config)
-    : config_(config), rng_(config.seed) {
+    : config_(config),
+      rng_(config.seed),
+      assoc_(config.associative_entries),
+      id_path_components_(metrics_.Intern("baseline.path_components")),
+      id_segments_created_(metrics_.Intern("baseline.segments_created")),
+      id_deactivation_blocked_by_hierarchy_(
+          metrics_.Intern("baseline.deactivation_blocked_by_hierarchy")),
+      id_activations_(metrics_.Intern("baseline.activations")),
+      id_deactivations_(metrics_.Intern("baseline.deactivations")),
+      id_evictions_(metrics_.Intern("baseline.evictions")),
+      id_zero_reclaims_(metrics_.Intern("baseline.zero_reclaims")),
+      id_writebacks_(metrics_.Intern("baseline.writebacks")),
+      id_quota_walk_hops_(metrics_.Intern("baseline.quota_walk_hops")),
+      id_growth_faults_(metrics_.Intern("baseline.growth_faults")),
+      id_quota_overflows_(metrics_.Intern("baseline.quota_overflows")),
+      id_full_pack_moves_(metrics_.Intern("baseline.full_pack_moves")),
+      id_page_faults_(metrics_.Intern("baseline.page_faults")),
+      id_retranslations_(metrics_.Intern("baseline.retranslations")),
+      id_retranslation_conflicts_(metrics_.Intern("baseline.retranslation_conflicts")),
+      id_zero_page_reallocations_(metrics_.Intern("baseline.zero_page_reallocations")),
+      id_state_load_failures_(metrics_.Intern("baseline.state_load_failures")),
+      id_state_loads_(metrics_.Intern("baseline.state_loads")),
+      id_aborted_processes_(metrics_.Intern("baseline.aborted_processes")),
+      id_links_snapped_(metrics_.Intern("baseline.links_snapped")),
+      id_assoc_hits_(metrics_.Intern("baseline.assoc_hits")),
+      id_assoc_misses_(metrics_.Intern("baseline.assoc_misses")),
+      id_assoc_flushes_(metrics_.Intern("baseline.assoc_flushes")) {
   m_disk_ = tracker_.Register(kDiskControl);
   m_dir_ = tracker_.Register(kDirectoryControl);
   m_as_ = tracker_.Register(kAddressSpaceControl);
@@ -67,7 +93,7 @@ Result<MonolithicSupervisor::BNode*> MonolithicSupervisor::ResolveNode(const std
       continue;
     }
     cost_.Charge(CodeStyle::kOptimized, Costs::kProcedureCall * 3);  // per-component search
-    metrics_.Inc("baseline.path_components");
+    metrics_.Inc(id_path_components_);
     auto it = node->children.find(component);
     if (it == node->children.end()) {
       return Status(Code::kNoEntry, component);
@@ -123,7 +149,7 @@ Result<SegmentUid> MonolithicSupervisor::CreatePath(const std::string& path) {
   const SegmentUid uid = node->uid;
   nodes_by_uid_[uid] = node.get();
   dir->children.emplace(leaf, std::move(node));
-  metrics_.Inc("baseline.segments_created");
+  metrics_.Inc(id_segments_created_);
   return uid;
 }
 
@@ -245,7 +271,7 @@ Result<uint32_t> MonolithicSupervisor::Activate(BNode* node) {
         continue;
       }
       if (e.is_directory && e.active_inferiors != 0) {
-        metrics_.Inc("baseline.deactivation_blocked_by_hierarchy");
+        metrics_.Inc(id_deactivation_blocked_by_hierarchy_);
         continue;  // the constraint in action
       }
       if (victim == UINT32_MAX || e.lru_stamp < ast_[victim].lru_stamp) {
@@ -286,7 +312,7 @@ Result<uint32_t> MonolithicSupervisor::Activate(BNode* node) {
     ++ast_[parent_ast].active_inferiors;
   }
   ast_by_uid_[node->uid] = slot;
-  metrics_.Inc("baseline.activations");
+  metrics_.Inc(id_activations_);
   return slot;
 }
 
@@ -312,8 +338,13 @@ Status MonolithicSupervisor::Deactivate(uint32_t slot) {
     --ast_[ast.parent_ast].active_inferiors;
   }
   ast_by_uid_.erase(ast.uid);
+  // The slot's page-table storage dies with the entry; drop every cached
+  // translation through it before a reused slot can alias the old key.
+  if (assoc_.InvalidateTag(slot) > 0) {
+    metrics_.Inc(id_assoc_flushes_);
+  }
   ast = BAstEntry{};
-  metrics_.Inc("baseline.deactivations");
+  metrics_.Inc(id_deactivations_);
   return Status::Ok();
 }
 
@@ -350,7 +381,7 @@ Result<FrameIndex> MonolithicSupervisor::AcquireFrame() {
       ptw.used = false;
       continue;
     }
-    metrics_.Inc("baseline.evictions");
+    metrics_.Inc(id_evictions_);
     MKS_RETURN_IF_ERROR(CleanAndRelease(FrameIndex(slot)));
     FrameIndex f = free_list_.back();
     free_list_.pop_back();
@@ -383,17 +414,20 @@ Status MonolithicSupervisor::CleanAndRelease(FrameIndex frame) {
       if (quota_ast.ok() && ast_[*quota_ast].quota_count > 0) {
         --ast_[*quota_ast].quota_count;
       }
-      metrics_.Inc("baseline.zero_reclaims");
+      metrics_.Inc(id_zero_reclaims_);
     } else {
       assert(fm.allocated);
       fm.zero = false;
       volumes_.pack(ast.pack)->WriteRecord(fm.record, memory_->FrameSpan(frame));
-      metrics_.Inc("baseline.writebacks");
+      metrics_.Inc(id_writebacks_);
     }
   }
   ptw.in_core = false;
   ptw.used = false;
   ptw.modified = false;
+  if (assoc_.InvalidatePtw(&ptw) > 0) {
+    metrics_.Inc(id_assoc_flushes_);
+  }
   fi = FrameInfo{};
   free_list_.push_back(frame);
   return Status::Ok();
@@ -406,7 +440,7 @@ Result<uint32_t> MonolithicSupervisor::FindQuotaAst(uint32_t ast) {
   uint32_t current = ast;
   for (int hops = 0; hops < 64; ++hops) {
     cost_.Charge(CodeStyle::kOptimized, Costs::kProcedureCall);
-    metrics_.Inc("baseline.quota_walk_hops");
+    metrics_.Inc(id_quota_walk_hops_);
     if (ast_[current].quota_directory) {
       return current;
     }
@@ -420,11 +454,11 @@ Result<uint32_t> MonolithicSupervisor::FindQuotaAst(uint32_t ast) {
 
 Status MonolithicSupervisor::GrowPage(uint32_t ast_index, uint32_t page) {
   CallTracker::Scope scope(&tracker_, m_page_);
-  metrics_.Inc("baseline.growth_faults");
+  metrics_.Inc(id_growth_faults_);
   MKS_ASSIGN_OR_RETURN(uint32_t quota_ast, FindQuotaAst(ast_index));
   BAstEntry& quota_entry = ast_[quota_ast];
   if (quota_entry.quota_count + 1 > quota_entry.quota_limit) {
-    metrics_.Inc("baseline.quota_overflows");
+    metrics_.Inc(id_quota_overflows_);
     return Status(Code::kQuotaOverflow, "quota");
   }
   BAstEntry& ast = ast_[ast_index];
@@ -458,7 +492,7 @@ Status MonolithicSupervisor::HandleFullPack(uint32_t ast_index, uint32_t page) {
   // control's data base to find the directory entry — and then updates the
   // entry directly.  Three modules deep in each other's pockets.
   CallTracker::Scope seg_scope(&tracker_, m_seg_);
-  metrics_.Inc("baseline.full_pack_moves");
+  metrics_.Inc(id_full_pack_moves_);
   (void)page;
   BAstEntry& ast = ast_[ast_index];
   // Flush resident pages home.
@@ -512,7 +546,7 @@ Status MonolithicSupervisor::HandleFullPack(uint32_t ast_index, uint32_t page) {
 Status MonolithicSupervisor::HandleMissingPage(uint32_t ast_index, uint32_t page) {
   CallTracker::Scope scope(&tracker_, m_page_);
   cost_.Charge(CodeStyle::kOptimized, Costs::kFaultEntry);
-  metrics_.Inc("baseline.page_faults");
+  metrics_.Inc(id_page_faults_);
   AcquireGlobalLock();
   // Interpretive retranslation: without a descriptor lock bit, page control
   // must re-walk segment control's and address space control's translation
@@ -521,11 +555,11 @@ Status MonolithicSupervisor::HandleMissingPage(uint32_t ast_index, uint32_t page
     CallTracker::Scope seg_scope(&tracker_, m_seg_);
     CallTracker::Scope as_scope(&tracker_, m_as_);
     cost_.Charge(CodeStyle::kOptimized, kRetranslationCost);
-    metrics_.Inc("baseline.retranslations");
+    metrics_.Inc(id_retranslations_);
     if (rng_.NextBool(config_.retranslate_conflict_rate)) {
       // Another processor altered the tables; the descriptor is no longer
       // the one that faulted.  Drop the lock and let the reference retry.
-      metrics_.Inc("baseline.retranslation_conflicts");
+      metrics_.Inc(id_retranslation_conflicts_);
       ReleaseGlobalLock();
       return Status::Ok();
     }
@@ -561,7 +595,7 @@ Status MonolithicSupervisor::HandleMissingPage(uint32_t ast_index, uint32_t page
           fm.zero = false;
           ptw.modified = true;
         }
-        metrics_.Inc("baseline.zero_page_reallocations");
+        metrics_.Inc(id_zero_page_reallocations_);
       } else {
         volumes_.pack(ast.pack)->ReadRecord(fm.record, memory_->FrameSpan(*frame));
       }
@@ -593,7 +627,32 @@ Status MonolithicSupervisor::ReferenceInternal(SegmentUid uid, uint32_t offset, 
   if (page >= ast_[ast_index].page_table.ptws.size()) {
     return Status(Code::kOutOfBounds, "beyond maximum length");
   }
+  const uint64_t assoc_key = AssociativeMemory::MakeKey(ast_index, page);
   for (int attempt = 0; attempt < kMaxFaultDepth; ++attempt) {
+    // The retrofit associative memory: a hit is served only when the live PTW
+    // is plainly resident, so faults still come from exactly the code below.
+    if (assoc_.enabled()) {
+      if (AssociativeMemory::Entry* cached = assoc_.Lookup(assoc_key)) {
+        Ptw* aptw = cached->ptw;
+        if (aptw->in_core && !aptw->unallocated && !aptw->locked) {
+          cost_.Charge(CodeStyle::kOptimized, Costs::kAssocSearch);
+          metrics_.Inc(id_assoc_hits_);
+          const uint64_t abs =
+              static_cast<uint64_t>(aptw->frame) * kPageWords + offset % kPageWords;
+          aptw->used = true;
+          if (mode == AccessMode::kRead) {
+            *out = memory_->ReadWord(abs);
+          } else {
+            memory_->WriteWord(abs, in);
+            aptw->modified = true;
+          }
+          return Status::Ok();
+        }
+        assoc_.InvalidateEntry(cached);
+      }
+      metrics_.Inc(id_assoc_misses_);
+      cost_.Charge(CodeStyle::kOptimized, 2 * Costs::kDescriptorFetch);
+    }
     cost_.Charge(CodeStyle::kOptimized, Costs::kAddressTranslation);
     // Re-look-up each attempt: the retranslation conflict path may have
     // changed nothing, or eviction may race us.
@@ -606,6 +665,9 @@ Status MonolithicSupervisor::ReferenceInternal(SegmentUid uid, uint32_t offset, 
       } else {
         memory_->WriteWord(abs, in);
         ptw.modified = true;
+      }
+      if (assoc_.enabled()) {
+        assoc_.Insert(assoc_key, &ptw, true, true, true, 7);
       }
       return Status::Ok();
     }
@@ -661,9 +723,9 @@ Status MonolithicSupervisor::TouchStateSegment(BProcess& proc, int depth) {
   Status st =
       ReferenceInternal(proc.state_segment, 0, AccessMode::kWrite, &dummy, proc.pc, depth);
   if (!st.ok()) {
-    metrics_.Inc("baseline.state_load_failures");
+    metrics_.Inc(id_state_load_failures_);
   } else {
-    metrics_.Inc("baseline.state_loads");
+    metrics_.Inc(id_state_loads_);
   }
   return st;
 }
@@ -701,7 +763,7 @@ Status MonolithicSupervisor::RunUntilQuiescent(uint64_t max_passes) {
         }
         if (!st.ok()) {
           proc.done = true;
-          metrics_.Inc("baseline.aborted_processes");
+          metrics_.Inc(id_aborted_processes_);
           break;
         }
         ++proc.pc;
@@ -740,7 +802,7 @@ Result<SegmentUid> MonolithicSupervisor::LinkSnap(ProcessId pid, const std::stri
   cost_.Charge(CodeStyle::kOptimized, Costs::kFaultEntry);  // linkage fault
   MKS_ASSIGN_OR_RETURN(SegmentUid uid, FileFound(target_path));
   it->second.linkage[symbol] = uid;
-  metrics_.Inc("baseline.links_snapped");
+  metrics_.Inc(id_links_snapped_);
   return uid;
 }
 

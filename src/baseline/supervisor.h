@@ -54,6 +54,11 @@ struct BaselineConfig {
   // missing-page fault and capture of the global lock, forcing the
   // interpretive retranslation to detect a conflict and retry.
   double retranslate_conflict_rate = 0.02;
+  // Entries in the descriptor associative memory.  The historical 1973
+  // configuration had none on this path (0); nonzero models retrofitting the
+  // 6180's associative memory under the monolithic supervisor for comparison
+  // with the kernel design.
+  uint16_t associative_entries = 0;
   uint64_t root_quota = 1u << 20;
   uint64_t seed = 1977;
 };
@@ -198,6 +203,9 @@ class MonolithicSupervisor {
   Metrics metrics_;
   CallTracker tracker_;
   Rng rng_;
+  // Keyed by (AST slot, page): the supervisor translates through AST slots,
+  // so a slot reused for a different segment must be invalidated.
+  AssociativeMemory assoc_;
   std::unique_ptr<PrimaryMemory> memory_;
   VolumeControl volumes_{&cost_, &metrics_};
   ModuleId m_disk_, m_dir_, m_as_, m_seg_, m_page_, m_proc_;
@@ -216,6 +224,30 @@ class MonolithicSupervisor {
   std::vector<FrameInfo> frames_;
   std::vector<FrameIndex> free_list_;
   uint32_t clock_hand_ = 0;
+
+  MetricId id_path_components_;
+  MetricId id_segments_created_;
+  MetricId id_deactivation_blocked_by_hierarchy_;
+  MetricId id_activations_;
+  MetricId id_deactivations_;
+  MetricId id_evictions_;
+  MetricId id_zero_reclaims_;
+  MetricId id_writebacks_;
+  MetricId id_quota_walk_hops_;
+  MetricId id_growth_faults_;
+  MetricId id_quota_overflows_;
+  MetricId id_full_pack_moves_;
+  MetricId id_page_faults_;
+  MetricId id_retranslations_;
+  MetricId id_retranslation_conflicts_;
+  MetricId id_zero_page_reallocations_;
+  MetricId id_state_load_failures_;
+  MetricId id_state_loads_;
+  MetricId id_aborted_processes_;
+  MetricId id_links_snapped_;
+  MetricId id_assoc_hits_;
+  MetricId id_assoc_misses_;
+  MetricId id_assoc_flushes_;
 
   bool global_lock_held_ = false;
   uint64_t lock_acquisitions_ = 0;

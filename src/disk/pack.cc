@@ -24,11 +24,17 @@ DiskPack::DiskPack(PackId id, uint32_t record_count, uint32_t vtoc_slots, CostMo
       record_data_(record_count),
       vtoc_(vtoc_slots),
       cost_(cost),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      id_pack_full_(metrics->Intern("disk.pack_full")),
+      id_records_allocated_(metrics->Intern("disk.records_allocated")),
+      id_records_freed_(metrics->Intern("disk.records_freed")),
+      id_reads_(metrics->Intern("disk.reads")),
+      id_writes_(metrics->Intern("disk.writes")),
+      id_vtoc_allocated_(metrics->Intern("disk.vtoc_allocated")) {}
 
 Result<RecordIndex> DiskPack::AllocateRecord() {
   if (free_records_ == 0) {
-    metrics_->Inc("disk.pack_full");
+    metrics_->Inc(id_pack_full_);
     return Status(Code::kPackFull, "pack " + std::to_string(id_.value));
   }
   for (uint32_t i = 0; i < record_count_; ++i) {
@@ -37,11 +43,11 @@ Result<RecordIndex> DiskPack::AllocateRecord() {
       record_used_[candidate] = true;
       alloc_cursor_ = candidate + 1;
       --free_records_;
-      metrics_->Inc("disk.records_allocated");
+      metrics_->Inc(id_records_allocated_);
       return RecordIndex(candidate);
     }
   }
-  metrics_->Inc("disk.pack_full");
+  metrics_->Inc(id_pack_full_);
   return Status(Code::kPackFull, "pack " + std::to_string(id_.value));
 }
 
@@ -51,13 +57,13 @@ void DiskPack::FreeRecord(RecordIndex record) {
   record_data_[record.value].clear();
   record_data_[record.value].shrink_to_fit();
   ++free_records_;
-  metrics_->Inc("disk.records_freed");
+  metrics_->Inc(id_records_freed_);
 }
 
 void DiskPack::ReadRecord(RecordIndex record, std::span<Word> out) {
   assert(record.value < record_count_ && out.size() == kPageWords);
   cost_->Charge(CodeStyle::kOptimized, Costs::kDiskReadLatency);
-  metrics_->Inc("disk.reads");
+  metrics_->Inc(id_reads_);
   const std::vector<Word>& data = record_data_[record.value];
   for (size_t i = 0; i < kPageWords; ++i) {
     out[i] = i < data.size() ? data[i] : 0;
@@ -67,7 +73,7 @@ void DiskPack::ReadRecord(RecordIndex record, std::span<Word> out) {
 void DiskPack::WriteRecord(RecordIndex record, std::span<const Word> in) {
   assert(record.value < record_count_ && in.size() == kPageWords);
   cost_->Charge(CodeStyle::kOptimized, Costs::kDiskWriteLatency);
-  metrics_->Inc("disk.writes");
+  metrics_->Inc(id_writes_);
   record_data_[record.value].assign(in.begin(), in.end());
 }
 
@@ -92,7 +98,7 @@ Result<VtocIndex> DiskPack::AllocateVtoc(SegmentUid uid, bool is_directory) {
       vtoc_[i].uid = uid;
       vtoc_[i].is_directory = is_directory;
       vtoc_[i].file_map.resize(kMaxSegmentPages);
-      metrics_->Inc("disk.vtoc_allocated");
+      metrics_->Inc(id_vtoc_allocated_);
       return VtocIndex(i);
     }
   }

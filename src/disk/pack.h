@@ -94,6 +94,12 @@ class DiskPack {
   std::vector<VtocEntry> vtoc_;
   CostModel* cost_;
   Metrics* metrics_;
+  MetricId id_pack_full_;
+  MetricId id_records_allocated_;
+  MetricId id_records_freed_;
+  MetricId id_reads_;
+  MetricId id_writes_;
+  MetricId id_vtoc_allocated_;
 };
 
 // The set of mounted packs plus placement policy.

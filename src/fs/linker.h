@@ -26,7 +26,12 @@ class DynamicLinker {
  public:
   DynamicLinker(KernelContext* ctx, KernelGates* gates, PathWalker* walker,
                 ReferenceNameManager* names)
-      : ctx_(ctx), gates_(gates), walker_(walker), names_(names) {}
+      : ctx_(ctx),
+        gates_(gates),
+        walker_(walker),
+        names_(names),
+        id_link_faults_(ctx->metrics.Intern("linker.link_faults")),
+        id_snaps_(ctx->metrics.Intern("linker.snaps")) {}
 
   // Adds a directory to the tail of a process's search rules.
   void AddSearchDir(ProcessId pid, const std::string& dir_path);
@@ -47,6 +52,8 @@ class DynamicLinker {
   KernelGates* gates_;
   PathWalker* walker_;
   ReferenceNameManager* names_;
+  MetricId id_link_faults_;
+  MetricId id_snaps_;
   std::map<ProcessId, std::map<std::string, Segno>> linkage_;
   std::map<ProcessId, std::vector<std::string>> search_rules_;
   uint64_t snaps_ = 0;

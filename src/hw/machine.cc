@@ -27,11 +27,122 @@ std::string_view FaultKindName(FaultKind kind) {
   return "unknown";
 }
 
+AssociativeMemory::AssociativeMemory(uint16_t entries) {
+  // Round down to a power-of-two number of kWays-wide sets; fewer than one
+  // full set degenerates to a single direct set of `entries` ways.
+  if (entries == 0) {
+    return;
+  }
+  if (entries < kWays) {
+    set_count_ = 1;
+    slots_.assign(entries, Entry{});
+    return;
+  }
+  size_t sets = 1;
+  while (sets * 2 * kWays <= entries) {
+    sets *= 2;
+  }
+  set_count_ = sets;
+  slots_.assign(sets * kWays, Entry{});
+}
+
+size_t AssociativeMemory::SetBase(uint64_t key) const {
+  // Mix segno and page so consecutive pages of one segment spread over sets.
+  uint64_t h = key * 0x9e3779b97f4a7c15ULL;
+  return static_cast<size_t>((h >> 32) & (set_count_ - 1)) * kWays;
+}
+
+AssociativeMemory::Entry* AssociativeMemory::Lookup(uint64_t key) {
+  if (set_count_ == 0) {
+    return nullptr;
+  }
+  const size_t base = SetBase(key);
+  const size_t ways = std::min(slots_.size() - base, static_cast<size_t>(kWays));
+  for (size_t w = 0; w < ways; ++w) {
+    Entry& e = slots_[base + w];
+    if (e.valid && e.key == key) {
+      e.stamp = ++stamp_;
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+void AssociativeMemory::Insert(uint64_t key, Ptw* ptw, bool read, bool write, bool execute,
+                               uint8_t ring_bracket) {
+  if (set_count_ == 0) {
+    return;
+  }
+  const size_t base = SetBase(key);
+  const size_t ways = std::min(slots_.size() - base, static_cast<size_t>(kWays));
+  Entry* victim = &slots_[base];
+  for (size_t w = 0; w < ways; ++w) {
+    Entry& e = slots_[base + w];
+    if (e.valid && e.key == key) {
+      victim = &e;  // refresh in place
+      break;
+    }
+    if (!e.valid) {
+      victim = &e;
+      break;
+    }
+    if (e.stamp < victim->stamp || !victim->valid) {
+      victim = &e;
+    }
+  }
+  *victim = Entry{true, key, ptw, read, write, execute, ring_bracket, ++stamp_};
+}
+
+uint32_t AssociativeMemory::InvalidateTag(uint32_t tag) {
+  uint32_t dropped = 0;
+  for (Entry& e : slots_) {
+    if (e.valid && static_cast<uint32_t>(e.key >> 32) == tag) {
+      e.valid = false;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+uint32_t AssociativeMemory::InvalidatePtw(const Ptw* ptw) {
+  uint32_t dropped = 0;
+  for (Entry& e : slots_) {
+    if (e.valid && e.ptw == ptw) {
+      e.valid = false;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+uint32_t AssociativeMemory::InvalidatePageTable(const PageTable* pt) {
+  if (pt->ptws.empty()) {
+    return 0;
+  }
+  const Ptw* first = pt->ptws.data();
+  const Ptw* last = first + pt->ptws.size();
+  uint32_t dropped = 0;
+  for (Entry& e : slots_) {
+    if (e.valid && e.ptw >= first && e.ptw < last) {
+      e.valid = false;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+void AssociativeMemory::Flush() {
+  for (Entry& e : slots_) {
+    e.valid = false;
+  }
+}
+
 PrimaryMemory::PrimaryMemory(uint32_t frame_count, CostModel* cost, Metrics* metrics)
     : frame_count_(frame_count),
       words_(static_cast<size_t>(frame_count) * kPageWords, 0),
       cost_(cost),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      id_zero_scans_(metrics->Intern("hw.zero_scans")) {}
 
 Word PrimaryMemory::ReadWord(uint64_t abs_addr) {
   assert(abs_addr < words_.size());
@@ -58,14 +169,90 @@ void PrimaryMemory::ZeroFrame(FrameIndex frame) {
 
 bool PrimaryMemory::FrameIsZero(FrameIndex frame) {
   cost_->Charge(CodeStyle::kOptimized, Costs::kPageScanPerWord * kPageWords);
-  metrics_->Inc("hw.zero_scans");
+  metrics_->Inc(id_zero_scans_);
   auto span = FrameSpan(frame);
   return std::all_of(span.begin(), span.end(), [](Word w) { return w == 0; });
 }
 
+Processor::Processor(HwFeatures features, CostModel* cost, Metrics* metrics)
+    : features_(features),
+      cost_(cost),
+      metrics_(metrics),
+      assoc_(features.associative_memory ? features.associative_entries : 0),
+      id_translations_(metrics->Intern("hw.translations")),
+      id_assoc_hits_(metrics->Intern("hw.assoc_hits")),
+      id_assoc_misses_(metrics->Intern("hw.assoc_misses")),
+      id_assoc_flushes_(metrics->Intern("hw.assoc_flushes")),
+      id_locked_descriptor_faults_(metrics->Intern("hw.locked_descriptor_faults")),
+      id_quota_exceptions_(metrics->Intern("hw.quota_exceptions")),
+      id_missing_page_faults_(metrics->Intern("hw.missing_page_faults")) {}
+
+void Processor::ClearAssociative(Segno segno) {
+  if (assoc_.InvalidateTag(segno.value) > 0) {
+    metrics_->Inc(id_assoc_flushes_);
+  }
+}
+
+void Processor::InvalidateAssociative(const Ptw* ptw) {
+  if (assoc_.InvalidatePtw(ptw) > 0) {
+    metrics_->Inc(id_assoc_flushes_);
+  }
+}
+
+void Processor::InvalidateAssociative(const PageTable* pt) {
+  if (assoc_.InvalidatePageTable(pt) > 0) {
+    metrics_->Inc(id_assoc_flushes_);
+  }
+}
+
+void Processor::FlushAssociative() {
+  if (assoc_.enabled()) {
+    assoc_.Flush();
+    metrics_->Inc(id_assoc_flushes_);
+  }
+}
+
 AccessResult Processor::Access(Segno segno, uint32_t offset, AccessMode mode, uint8_t ring) {
+  metrics_->Inc(id_translations_);
+  const uint32_t ref_page = offset / kPageWords;
+
+  // Fast path: the associative memory.  A hit is served only when the cached
+  // SDW bits admit the access and the (live) PTW is plainly resident — any
+  // other state falls through to the full walk, so every fault is generated
+  // by exactly the same code whether or not the cache is present.  With the
+  // feature on, a miss pays the two descriptor fetches from core explicitly;
+  // zero entries therefore models the pre-associative hardware where every
+  // reference makes both fetches.
+  if (features_.associative_memory) {
+    const uint64_t key = AssociativeMemory::MakeKey(segno.value, ref_page);
+    if (AssociativeMemory::Entry* entry = assoc_.Lookup(key)) {
+      Ptw* ptw = entry->ptw;
+      const bool permitted = (mode == AccessMode::kRead && entry->read) ||
+                             (mode == AccessMode::kWrite && entry->write) ||
+                             (mode == AccessMode::kExecute && entry->execute);
+      if (permitted && ring <= entry->ring_bracket && !ptw->locked && !ptw->unallocated &&
+          ptw->in_core) {
+        cost_->Charge(CodeStyle::kOptimized, Costs::kAssocSearch);
+        metrics_->Inc(id_assoc_hits_);
+        ptw->used = true;
+        if (mode == AccessMode::kWrite) {
+          ptw->modified = true;
+        }
+        AccessResult result;
+        result.ok = true;
+        result.abs_addr = static_cast<uint64_t>(ptw->frame) * kPageWords + offset % kPageWords;
+        result.fault.segno = segno;
+        result.fault.page = ref_page;
+        result.fault.ptw = ptw;
+        return result;
+      }
+      // The cached pairing no longer resolves cleanly; drop it and re-walk.
+      assoc_.InvalidateEntry(entry);
+    }
+    metrics_->Inc(id_assoc_misses_);
+    cost_->Charge(CodeStyle::kOptimized, 2 * Costs::kDescriptorFetch);
+  }
   cost_->Charge(CodeStyle::kOptimized, Costs::kAddressTranslation);
-  metrics_->Inc("hw.translations");
 
   // Select the address space.  With the second descriptor-base register,
   // low segment numbers translate through the per-processor system space.
@@ -111,18 +298,18 @@ AccessResult Processor::Access(Segno segno, uint32_t offset, AccessMode mode, ui
     // Only generated by the new hardware; without the lock bit PTWs are
     // never locked.
     result.fault.kind = FaultKind::kLockedDescriptor;
-    metrics_->Inc("hw.locked_descriptor_faults");
+    metrics_->Inc(id_locked_descriptor_faults_);
     return result;
   }
   if (ptw->unallocated) {
     if (features_.quota_exception_bit) {
       result.fault.kind = FaultKind::kQuotaException;
-      metrics_->Inc("hw.quota_exceptions");
+      metrics_->Inc(id_quota_exceptions_);
     } else {
       // Baseline hardware cannot distinguish growth from an ordinary missing
       // page; software must re-diagnose it.
       result.fault.kind = FaultKind::kMissingPage;
-      metrics_->Inc("hw.missing_page_faults");
+      metrics_->Inc(id_missing_page_faults_);
     }
     return result;
   }
@@ -132,7 +319,7 @@ AccessResult Processor::Access(Segno segno, uint32_t offset, AccessMode mode, ui
       lock_address_register_ = ptw;
     }
     result.fault.kind = FaultKind::kMissingPage;
-    metrics_->Inc("hw.missing_page_faults");
+    metrics_->Inc(id_missing_page_faults_);
     return result;
   }
 
@@ -143,6 +330,10 @@ AccessResult Processor::Access(Segno segno, uint32_t offset, AccessMode mode, ui
   result.ok = true;
   result.abs_addr = static_cast<uint64_t>(ptw->frame) * kPageWords + offset % kPageWords;
   result.fault.kind = FaultKind::kNone;
+  if (features_.associative_memory) {
+    assoc_.Insert(AssociativeMemory::MakeKey(segno.value, ref_page), ptw, sdw->read, sdw->write,
+                  sdw->execute, sdw->ring_bracket);
+  }
   return result;
 }
 

@@ -88,13 +88,23 @@ struct HwFeatures {
   bool quota_exception_bit = false;
   bool wakeup_waiting_switch = false;
   bool second_dsbr = false;
+  // Associative memory: a small set-associative cache of recently resolved
+  // (segno, page) translations, like the 6180's SDW/PTW associative memory.
+  // Modelled as an HwFeatures knob (like the descriptor lock bit) so benches
+  // can ablate it.  When the flag is off, translation keeps the legacy
+  // abstract charge (kAddressTranslation); when on, a miss additionally pays
+  // the two descriptor fetches the cache exists to avoid, and a hit pays
+  // only the associative search.
+  bool associative_memory = false;
+  uint16_t associative_entries = 16;  // total entries; 0 disables the cache
 
   static HwFeatures Baseline() { return HwFeatures{}; }
   static HwFeatures KernelDesign() {
     return HwFeatures{.descriptor_lock_bit = true,
                       .quota_exception_bit = true,
                       .wakeup_waiting_switch = true,
-                      .second_dsbr = true};
+                      .second_dsbr = true,
+                      .associative_memory = true};
   }
 };
 
@@ -124,6 +134,69 @@ struct AccessResult {
   Fault fault;
 };
 
+// The descriptor associative memory: a small set-associative cache of
+// resolved translations, keyed by an opaque 64-bit tag the owner composes
+// (the Processor uses (segno, page); the baseline supervisor uses
+// (AST slot, page)).  An entry caches the PTW address plus the access bits
+// of the SDW it was resolved through.  The cache is a pure accelerator: it
+// only ever serves translations that the full descriptor walk would resolve
+// identically, and the owner must invalidate on every descriptor mutation
+// (page eviction, deactivation, SDW disconnect/re-bound, DSBR reload) so a
+// stale pairing is never consulted.
+class AssociativeMemory {
+ public:
+  static constexpr uint16_t kWays = 4;
+
+  struct Entry {
+    bool valid = false;
+    uint64_t key = 0;
+    Ptw* ptw = nullptr;
+    bool read = false;
+    bool write = false;
+    bool execute = false;
+    uint8_t ring_bracket = 0;
+    uint64_t stamp = 0;  // LRU within the set
+  };
+
+  // `entries` is the total capacity; rounded down to a whole number of
+  // kWays-wide sets (a power of two).  0 leaves the cache disabled.
+  explicit AssociativeMemory(uint16_t entries);
+
+  bool enabled() const { return set_count_ != 0; }
+  uint16_t capacity() const { return static_cast<uint16_t>(slots_.size()); }
+
+  // Returns the valid entry for `key`, or nullptr.  Refreshes LRU.
+  Entry* Lookup(uint64_t key);
+  // Installs (or refreshes) the translation for `key`, evicting the set's
+  // LRU entry if needed.
+  void Insert(uint64_t key, Ptw* ptw, bool read, bool write, bool execute,
+              uint8_t ring_bracket);
+
+  // Invalidation protocol.  All are O(capacity); invalidation events are
+  // orders of magnitude rarer than lookups.
+  void InvalidateEntry(Entry* entry) { entry->valid = false; }
+  // Drops every entry whose key's high 32 bits equal `tag` (a segno for the
+  // Processor, an AST slot for the baseline).  Returns entries dropped.
+  uint32_t InvalidateTag(uint32_t tag);
+  // Drops every entry caching `ptw` (page eviction).
+  uint32_t InvalidatePtw(const Ptw* ptw);
+  // Drops every entry whose PTW lies inside `pt`'s table (deactivation: the
+  // slot's PTW storage is about to be reused by another segment).
+  uint32_t InvalidatePageTable(const PageTable* pt);
+  void Flush();
+
+  static uint64_t MakeKey(uint32_t tag, uint32_t page) {
+    return (static_cast<uint64_t>(tag) << 32) | page;
+  }
+
+ private:
+  size_t SetBase(uint64_t key) const;
+
+  std::vector<Entry> slots_;  // set_count_ sets of kWays consecutive entries
+  size_t set_count_ = 0;
+  uint64_t stamp_ = 0;
+};
+
 // Primary (core) memory: an array of page frames.
 class PrimaryMemory {
  public:
@@ -147,15 +220,22 @@ class PrimaryMemory {
   std::vector<Word> words_;
   CostModel* cost_;
   Metrics* metrics_;
+  MetricId id_zero_scans_;
 };
 
 // A simulated processor.
 class Processor {
  public:
-  Processor(HwFeatures features, CostModel* cost, Metrics* metrics)
-      : features_(features), cost_(cost), metrics_(metrics) {}
+  Processor(HwFeatures features, CostModel* cost, Metrics* metrics);
 
-  void set_user_ds(DescriptorSegment* ds) { user_ds_ = ds; }
+  // Loading a descriptor-base register clears the associative memory, as on
+  // the real hardware: cached translations belong to the outgoing space.
+  void set_user_ds(DescriptorSegment* ds) {
+    if (ds != user_ds_) {
+      FlushAssociative();
+    }
+    user_ds_ = ds;
+  }
   void set_system_ds(DescriptorSegment* ds) { system_ds_ = ds; }
   DescriptorSegment* user_ds() const { return user_ds_; }
   DescriptorSegment* system_ds() const { return system_ds_; }
@@ -167,6 +247,21 @@ class Processor {
   // locks the offending descriptor and latches its address in the
   // lock-address register.
   AccessResult Access(Segno segno, uint32_t offset, AccessMode mode, uint8_t ring);
+
+  // Associative-memory invalidation protocol, called by the kernel at every
+  // descriptor-mutation site.  Each counts toward hw.assoc_flushes.
+  // Drops cached translations for one segment number (SDW disconnect or
+  // re-bound).
+  void ClearAssociative(Segno segno);
+  // Drops cached translations through one PTW (page eviction).
+  void InvalidateAssociative(const Ptw* ptw);
+  // Drops cached translations into one page table (segment deactivation:
+  // the table's storage is about to describe a different segment).
+  void InvalidateAssociative(const PageTable* pt);
+  // Drops everything (address-space teardown, DSBR reload).
+  void FlushAssociative();
+
+  const AssociativeMemory& associative() const { return assoc_; }
 
   // Wakeup-waiting switch (new hardware): armed before a vp decides to wait;
   // a notification between the locked-descriptor fault and the wait primitive
@@ -184,6 +279,14 @@ class Processor {
   DescriptorSegment* system_ds_ = nullptr;
   bool wakeup_waiting_ = false;
   const Ptw* lock_address_register_ = nullptr;
+  AssociativeMemory assoc_;
+  MetricId id_translations_;
+  MetricId id_assoc_hits_;
+  MetricId id_assoc_misses_;
+  MetricId id_assoc_flushes_;
+  MetricId id_locked_descriptor_faults_;
+  MetricId id_quota_exceptions_;
+  MetricId id_missing_page_faults_;
 };
 
 }  // namespace mks

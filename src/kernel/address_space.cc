@@ -7,7 +7,10 @@ AddressSpaceManager::AddressSpaceManager(KernelContext* ctx, CoreSegmentManager*
     : ctx_(ctx),
       self_(ctx->tracker.Register(module_names::kAddressSpace)),
       core_segs_(core_segs),
-      segs_(segs) {}
+      segs_(segs),
+      id_spaces_created_(ctx->metrics.Intern("asm.spaces_created")),
+      id_connects_(ctx->metrics.Intern("asm.connects")),
+      id_disconnect_everywhere_(ctx->metrics.Intern("asm.disconnect_everywhere")) {}
 
 Status AddressSpaceManager::Init(uint16_t user_sdw_count) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
@@ -54,7 +57,7 @@ Status AddressSpaceManager::CreateSpace(ProcessId pid) {
   space.ds.sdws.assign(user_sdw_count_, Sdw{});
   space.ast_of.assign(user_sdw_count_, kNoAst);
   spaces_.emplace(pid, std::move(space));
-  ctx_->metrics.Inc("asm.spaces_created");
+  ctx_->metrics.Inc(id_spaces_created_);
   return Status::Ok();
 }
 
@@ -68,6 +71,10 @@ Status AddressSpaceManager::DestroySpace(ProcessId pid) {
     if (it->second.ast_of[i] != kNoAst) {
       segs_->NoteDisconnect(it->second.ast_of[i]);
     }
+  }
+  if (ctx_->processor.user_ds() == &it->second.ds) {
+    // The processor still points at the dying descriptor segment.
+    ctx_->processor.set_user_ds(nullptr);
   }
   spaces_.erase(it);
   return Status::Ok();
@@ -108,7 +115,7 @@ Status AddressSpaceManager::Connect(ProcessId pid, Segno segno, uint32_t ast,
   sdw.ring_bracket = ring_bracket;
   space.ast_of[index] = ast;
   segs_->NoteConnect(ast);
-  ctx_->metrics.Inc("asm.connects");
+  ctx_->metrics.Inc(id_connects_);
   return Status::Ok();
 }
 
@@ -126,6 +133,9 @@ Status AddressSpaceManager::Disconnect(ProcessId pid, Segno segno) {
   segs_->NoteDisconnect(space.ast_of[index]);
   space.ds.sdws[index] = Sdw{};
   space.ast_of[index] = kNoAst;
+  // The segno may be reconnected to a different segment; no translation
+  // cached under it may survive the disconnect.
+  ctx_->processor.ClearAssociative(segno);
   return Status::Ok();
 }
 
@@ -143,11 +153,12 @@ uint32_t AddressSpaceManager::DisconnectEverywhere(SegmentUid uid) {
         segs_->NoteDisconnect(ast);
         space.ds.sdws[i] = Sdw{};
         space.ast_of[i] = kNoAst;
+        ctx_->processor.ClearAssociative(Segno(static_cast<uint16_t>(kSystemSegnoLimit + i)));
         ++severed;
       }
     }
   }
-  ctx_->metrics.Inc("asm.disconnect_everywhere", severed);
+  ctx_->metrics.Inc(id_disconnect_everywhere_, severed);
   return severed;
 }
 

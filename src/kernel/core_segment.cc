@@ -3,7 +3,9 @@
 namespace mks {
 
 CoreSegmentManager::CoreSegmentManager(KernelContext* ctx)
-    : ctx_(ctx), self_(ctx->tracker.Register(module_names::kCoreSegment)) {}
+    : ctx_(ctx),
+      self_(ctx->tracker.Register(module_names::kCoreSegment)),
+      id_allocated_pages_(ctx->metrics.Intern("core_seg.allocated_pages")) {}
 
 Result<CoreSegId> CoreSegmentManager::Allocate(std::string name, uint32_t pages) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
@@ -21,7 +23,7 @@ Result<CoreSegId> CoreSegmentManager::Allocate(std::string name, uint32_t pages)
     ctx_->memory.ZeroFrame(FrameIndex(next_frame_ + i));
   }
   next_frame_ += pages;
-  ctx_->metrics.Inc("core_seg.allocated_pages", pages);
+  ctx_->metrics.Inc(id_allocated_pages_, pages);
   return id;
 }
 

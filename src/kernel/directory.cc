@@ -10,7 +10,14 @@ DirectoryManager::DirectoryManager(KernelContext* ctx, QuotaCellManager* quota,
       self_(ctx->tracker.Register(module_names::kDirectory)),
       quota_(quota),
       segs_(segs),
-      spaces_(spaces) {}
+      spaces_(spaces),
+      id_searches_(ctx->metrics.Intern("dir.searches")),
+      id_mythical_results_(ctx->metrics.Intern("dir.mythical_results")),
+      id_entries_created_(ctx->metrics.Intern("dir.entries_created")),
+      id_entries_deleted_(ctx->metrics.Intern("dir.entries_deleted")),
+      id_renames_(ctx->metrics.Intern("dir.renames")),
+      id_quota_designations_(ctx->metrics.Intern("dir.quota_designations")),
+      id_moves_completed_(ctx->metrics.Intern("dir.moves_completed")) {}
 
 SegmentUid DirectoryManager::NewUid() {
   // Unique identifiers are unguessable values drawn from a keyed hash so
@@ -81,11 +88,11 @@ Result<EntryId> DirectoryManager::Search(const Subject& subject, EntryId dir_id,
                                          std::string_view name) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kProcedureCall * 2);
-  ctx_->metrics.Inc("dir.searches");
+  ctx_->metrics.Inc(id_searches_);
   DirectoryRec* dir = FindDir(dir_id);
   if (dir == nullptr) {
     // Nonexistent or mythical directory: always "find" the name.
-    ctx_->metrics.Inc("dir.mythical_results");
+    ctx_->metrics.Inc(id_mythical_results_);
     return MythicalId(dir_id, name);
   }
   const bool observable = CanObserveDir(subject, *dir);
@@ -104,7 +111,7 @@ Result<EntryId> DirectoryManager::Search(const Subject& subject, EntryId dir_id,
   if (it != dir->entries.end()) {
     return EntryId(it->second.uid.value);
   }
-  ctx_->metrics.Inc("dir.mythical_results");
+  ctx_->metrics.Inc(id_mythical_results_);
   return MythicalId(dir_id, name);
 }
 
@@ -172,7 +179,7 @@ Status DirectoryManager::CreateEntryCommon(const Subject& subject, EntryId dir_i
   }
   *out = &it->second;
   *parent_out = dir;
-  ctx_->metrics.Inc("dir.entries_created");
+  ctx_->metrics.Inc(id_entries_created_);
   return Status::Ok();
 }
 
@@ -258,7 +265,7 @@ Status DirectoryManager::DeleteEntry(const Subject& subject, EntryId dir_id,
   }
   parent_of_.erase(entry.uid);
   dir->entries.erase(it);
-  ctx_->metrics.Inc("dir.entries_deleted");
+  ctx_->metrics.Inc(id_entries_deleted_);
   return Status::Ok();
 }
 
@@ -290,7 +297,7 @@ Status DirectoryManager::RenameEntry(const Subject& subject, EntryId dir_id,
     }
   }
   dir->entries.emplace(std::move(new_name), std::move(entry));
-  ctx_->metrics.Inc("dir.renames");
+  ctx_->metrics.Inc(id_renames_);
   return Status::Ok();
 }
 
@@ -364,7 +371,7 @@ Status DirectoryManager::SetQuota(const Subject& subject, EntryId dir_id, uint64
   if (ast != kNoAst) {
     segs_->Get(ast)->quota_cell = cell;
   }
-  ctx_->metrics.Inc("dir.quota_designations");
+  ctx_->metrics.Inc(id_quota_designations_);
   return Status::Ok();
 }
 
@@ -544,7 +551,7 @@ Status DirectoryManager::CompleteSegmentMove(SegmentUid uid, PackId new_pack,
     if (rec.uid == uid) {
       rec.pack = new_pack;
       rec.vtoc = new_vtoc;
-      ctx_->metrics.Inc("dir.moves_completed");
+      ctx_->metrics.Inc(id_moves_completed_);
       return Status::Ok();
     }
   }

@@ -152,6 +152,13 @@ class DirectoryManager {
   QuotaCellManager* quota_;
   SegmentManager* segs_;
   AddressSpaceManager* spaces_;
+  MetricId id_searches_;
+  MetricId id_mythical_results_;
+  MetricId id_entries_created_;
+  MetricId id_entries_deleted_;
+  MetricId id_renames_;
+  MetricId id_quota_designations_;
+  MetricId id_moves_completed_;
   SegmentUid root_{};
   uint64_t uid_counter_ = 1;
   std::unordered_map<SegmentUid, DirectoryRec> dirs_;

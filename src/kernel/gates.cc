@@ -13,7 +13,11 @@ KernelGates::KernelGates(KernelContext* ctx, VirtualProcessorManager* vpm,
       segs_(segs),
       spaces_(spaces),
       ksm_(ksm),
-      dirs_(dirs) {}
+      dirs_(dirs),
+      id_user_advances_(ctx->metrics.Intern("gates.user_advances")),
+      id_user_awaits_(ctx->metrics.Intern("gates.user_awaits")),
+      id_upward_signals_(ctx->metrics.Intern("gates.upward_signals")),
+      id_locked_descriptor_waits_(ctx->metrics.Intern("gates.locked_descriptor_waits")) {}
 
 Result<EntryId> KernelGates::Search(ProcContext& ctx, EntryId dir, std::string_view name) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
@@ -115,7 +119,7 @@ Status KernelGates::AdvanceEventcount(ProcContext& ctx, EventcountId ec) {
   MKS_RETURN_IF_ERROR(ctx_->monitor.CheckFlow(ctx.subject, user_eventcounts_[ec.value].label,
                                               FlowDirection::kModify));
   vpm_->Advance(ec);
-  ctx_->metrics.Inc("gates.user_advances");
+  ctx_->metrics.Inc(id_user_advances_);
   return Status::Ok();
 }
 
@@ -144,7 +148,7 @@ Status KernelGates::AwaitEventcount(ProcContext& ctx, EventcountId ec, uint64_t 
   ctx.pending_wait.valid = true;
   ctx.pending_wait.ec = ec;
   ctx.pending_wait.target = target;
-  ctx_->metrics.Inc("gates.user_awaits");
+  ctx_->metrics.Inc(id_user_awaits_);
   return Status(Code::kBlocked, "awaiting eventcount");
 }
 
@@ -198,7 +202,7 @@ Status KernelGates::Reference(ProcContext& ctx, Segno segno, uint32_t offset, Ac
         if (signal.valid) {
           // The upward software signal: the dispatcher — with nothing pending
           // below — transfers the new home to the directory manager.
-          ctx_->metrics.Inc("gates.upward_signals");
+          ctx_->metrics.Inc(id_upward_signals_);
           MKS_RETURN_IF_ERROR(
               dirs_->CompleteSegmentMove(signal.uid, signal.new_pack, signal.new_vtoc));
         }
@@ -220,7 +224,7 @@ Status KernelGates::Reference(ProcContext& ctx, Segno segno, uint32_t offset, Ac
         ctx.pending_wait.valid = true;
         ctx.pending_wait.ec = ast->page_ec;
         ctx.pending_wait.target = ctx_->eventcounts.Read(ast->page_ec) + 1;
-        ctx_->metrics.Inc("gates.locked_descriptor_waits");
+        ctx_->metrics.Inc(id_locked_descriptor_waits_);
         return Status(Code::kBlocked, "descriptor locked");
       }
       case FaultKind::kOutOfBounds:

@@ -96,6 +96,10 @@ class KernelGates {
   AddressSpaceManager* spaces_;
   KnownSegmentManager* ksm_;
   DirectoryManager* dirs_;
+  MetricId id_user_advances_;
+  MetricId id_user_awaits_;
+  MetricId id_upward_signals_;
+  MetricId id_locked_descriptor_waits_;
 };
 
 }  // namespace mks

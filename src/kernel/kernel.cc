@@ -5,7 +5,8 @@ namespace mks {
 Kernel::Kernel(const KernelConfig& config)
     : config_(config),
       ctx_(std::make_unique<KernelContext>(config.memory_frames, config.features,
-                                           config.structured_factor, config.secret)) {
+                                           config.structured_factor, config.secret)),
+      id_shutdowns_(ctx_->metrics.Intern("kernel.shutdowns")) {
   core_segs_ = std::make_unique<CoreSegmentManager>(ctx_.get());
   vpm_ = std::make_unique<VirtualProcessorManager>(ctx_.get(), core_segs_.get());
   quota_ = std::make_unique<QuotaCellManager>(ctx_.get(), core_segs_.get());
@@ -95,7 +96,7 @@ Status Kernel::Shutdown() {
     }
   }
   booted_ = false;
-  ctx_->metrics.Inc("kernel.shutdowns");
+  ctx_->metrics.Inc(id_shutdowns_);
   return Status::Ok();
 }
 

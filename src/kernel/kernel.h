@@ -92,6 +92,7 @@ class Kernel {
  private:
   KernelConfig config_;
   std::unique_ptr<KernelContext> ctx_;
+  MetricId id_shutdowns_ = 0;
   std::unique_ptr<CoreSegmentManager> core_segs_;
   std::unique_ptr<VirtualProcessorManager> vpm_;
   std::unique_ptr<QuotaCellManager> quota_;

@@ -7,7 +7,12 @@ KnownSegmentManager::KnownSegmentManager(KernelContext* ctx, SegmentManager* seg
     : ctx_(ctx),
       self_(ctx->tracker.Register(module_names::kKnownSegment)),
       segs_(segs),
-      spaces_(spaces) {}
+      spaces_(spaces),
+      id_initiates_(ctx->metrics.Intern("ksm.initiates")),
+      id_terminates_(ctx->metrics.Intern("ksm.terminates")),
+      id_segment_faults_(ctx->metrics.Intern("ksm.segment_faults")),
+      id_quota_exceptions_(ctx->metrics.Intern("ksm.quota_exceptions")),
+      id_full_pack_moves_(ctx->metrics.Intern("ksm.full_pack_moves")) {}
 
 Status KnownSegmentManager::CreateKst(ProcessId pid) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
@@ -52,7 +57,7 @@ Result<Segno> KnownSegmentManager::Initiate(ProcessId pid, const SegmentHome& ho
   for (uint16_t i = 0; i < kst.entries.size(); ++i) {
     if (!kst.entries[i].valid) {
       kst.entries[i] = KstEntry{true, home, modes, ring_bracket};
-      ctx_->metrics.Inc("ksm.initiates");
+      ctx_->metrics.Inc(id_initiates_);
       return Segno(static_cast<uint16_t>(kSystemSegnoLimit + i));
     }
   }
@@ -71,7 +76,7 @@ Status KnownSegmentManager::Terminate(ProcessId pid, Segno segno) {
     MKS_RETURN_IF_ERROR(spaces_->Disconnect(pid, segno));
   }
   *entry = KstEntry{};
-  ctx_->metrics.Inc("ksm.terminates");
+  ctx_->metrics.Inc(id_terminates_);
   return Status::Ok();
 }
 
@@ -123,7 +128,7 @@ Status KnownSegmentManager::HandleSegmentFault(ProcessId pid, Segno segno) {
   MKS_ASSIGN_OR_RETURN(uint32_t ast,
                        segs_->EnsureActive(home.uid, home.pack, home.vtoc, home.quota_cell));
   MKS_RETURN_IF_ERROR(spaces_->Connect(pid, segno, ast, entry->modes, entry->ring_bracket));
-  ctx_->metrics.Inc("ksm.segment_faults");
+  ctx_->metrics.Inc(id_segment_faults_);
   return Status::Ok();
 }
 
@@ -158,7 +163,7 @@ Status KnownSegmentManager::HandleQuotaException(ProcessId pid, Segno segno, uin
                                                  MoveSignal* signal, WaitSpec* wait) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kFaultEntry);
-  ctx_->metrics.Inc("ksm.quota_exceptions");
+  ctx_->metrics.Inc(id_quota_exceptions_);
   (void)wait;
   KstEntry* entry = Find(pid, segno);
   if (entry == nullptr || !entry->valid) {
@@ -177,7 +182,7 @@ Status KnownSegmentManager::HandleQuotaException(ProcessId pid, Segno segno, uin
 
   // Full pack: sever every address space, direct the move, retry the growth
   // on the new pack, and hand the new home upward for the directory update.
-  ctx_->metrics.Inc("ksm.full_pack_moves");
+  ctx_->metrics.Inc(id_full_pack_moves_);
   spaces_->DisconnectEverywhere(home.uid);
   MKS_ASSIGN_OR_RETURN(SegmentManager::NewHome new_home, segs_->Relocate(ast));
   RehomeEverywhere(home.uid, new_home.pack, new_home.vtoc);

@@ -95,6 +95,11 @@ class KnownSegmentManager {
   ModuleId self_;
   SegmentManager* segs_;
   AddressSpaceManager* spaces_;
+  MetricId id_initiates_;
+  MetricId id_terminates_;
+  MetricId id_segment_faults_;
+  MetricId id_quota_exceptions_;
+  MetricId id_full_pack_moves_;
   uint16_t kst_size_ = 0;
   std::unordered_map<ProcessId, Kst> ksts_;
 };

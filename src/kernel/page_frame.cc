@@ -10,7 +10,18 @@ PageFrameManager::PageFrameManager(KernelContext* ctx, CoreSegmentManager* core_
       self_(ctx->tracker.Register(module_names::kPageFrame)),
       core_segs_(core_segs),
       quota_(quota),
-      vpm_(vpm) {}
+      vpm_(vpm),
+      id_evictions_(ctx->metrics.Intern("pfm.evictions")),
+      id_no_evictable_frame_(ctx->metrics.Intern("pfm.no_evictable_frame")),
+      id_zero_reclaims_(ctx->metrics.Intern("pfm.zero_reclaims")),
+      id_zero_retained_(ctx->metrics.Intern("pfm.zero_retained")),
+      id_writebacks_(ctx->metrics.Intern("pfm.writebacks")),
+      id_faults_serviced_(ctx->metrics.Intern("pfm.faults_serviced")),
+      id_zero_page_reallocations_(ctx->metrics.Intern("pfm.zero_page_reallocations")),
+      id_async_reads_(ctx->metrics.Intern("pfm.async_reads")),
+      id_io_completions_(ctx->metrics.Intern("pfm.io_completions")),
+      id_pages_added_(ctx->metrics.Intern("pfm.pages_added")),
+      id_daemon_writes_(ctx->metrics.Intern("pfm.daemon_writes")) {}
 
 Status PageFrameManager::Init() {
   CallTracker::Scope scope(&ctx_->tracker, self_);
@@ -52,14 +63,14 @@ Result<FrameIndex> PageFrameManager::AcquireFrame() {
       continue;
     }
     const FrameIndex victim(first_frame_ + slot);
-    ctx_->metrics.Inc("pfm.evictions");
+    ctx_->metrics.Inc(id_evictions_);
     MKS_RETURN_IF_ERROR(CleanAndRelease(victim));
     FrameIndex frame = free_list_.back();
     free_list_.pop_back();
     info(frame).state = FrameState::kInUse;
     return frame;
   }
-  ctx_->metrics.Inc("pfm.no_evictable_frame");
+  ctx_->metrics.Inc(id_no_evictable_frame_);
   return Status(Code::kResourceExhausted, "no evictable page frame");
 }
 
@@ -88,22 +99,26 @@ Status PageFrameManager::CleanAndRelease(FrameIndex frame) {
         // The accounting write a mere read may ultimately have caused.
         (void)quota_->Refund(fi.cell, 1);
       }
-      ctx_->metrics.Inc("pfm.zero_reclaims");
+      ctx_->metrics.Inc(id_zero_reclaims_);
     } else if (zero && retain_zero_records_) {
       // Channel-closed mode: keep the record and the charge; remember the
       // zero content so re-touch avoids the disk read.
       fm.zero = true;
-      ctx_->metrics.Inc("pfm.zero_retained");
+      ctx_->metrics.Inc(id_zero_retained_);
     } else {
       assert(fm.allocated);
       fm.zero = false;
       ctx_->volumes.pack(fi.pack)->WriteRecord(fm.record, ctx_->memory.FrameSpan(frame));
-      ctx_->metrics.Inc("pfm.writebacks");
+      ctx_->metrics.Inc(id_writebacks_);
     }
   }
   ptw.in_core = false;
   ptw.used = false;
   ptw.modified = false;
+  // The page's descriptor no longer resolves to a frame: any associative
+  // memory entry pairing it with the old frame must go before the frame is
+  // reused.
+  ctx_->processor.InvalidateAssociative(&ptw);
   fi = FrameInfo{};
   free_list_.push_back(frame);
   return Status::Ok();
@@ -115,7 +130,7 @@ Status PageFrameManager::ServiceMissingPage(PageTable* pt, uint32_t page, PackId
                                             WaitSpec* wait) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kFaultEntry);
-  ctx_->metrics.Inc("pfm.faults_serviced");
+  ctx_->metrics.Inc(id_faults_serviced_);
   Ptw& ptw = pt->ptws[page];
   if (ptw.in_core && !ptw.locked) {
     return Status::Ok();  // another processor already serviced the page
@@ -165,7 +180,7 @@ Status PageFrameManager::ServiceMissingPage(PageTable* pt, uint32_t page, PackId
       }
       fm.allocated = true;
       fm.record = *record;
-      ctx_->metrics.Inc("pfm.zero_page_reallocations");
+      ctx_->metrics.Inc(id_zero_page_reallocations_);
     }
     fm.zero = false;
     ptw.frame = frame.value;
@@ -195,7 +210,7 @@ Status PageFrameManager::ServiceMissingPage(PageTable* pt, uint32_t page, PackId
                         [this, frame, initiator]() {
                           completions_.push_back(Completion{frame, initiator});
                         });
-  ctx_->metrics.Inc("pfm.async_reads");
+  ctx_->metrics.Inc(id_async_reads_);
   (void)record;
   if (wait != nullptr) {
     wait->valid = true;
@@ -237,7 +252,7 @@ bool PageFrameManager::PageIoDaemonStep() {
       (void)upward_queue_->Push(
           UpwardMessage{completion.initiator, /*code=*/1, /*payload=*/fi.page});
     }
-    ctx_->metrics.Inc("pfm.io_completions");
+    ctx_->metrics.Inc(id_io_completions_);
     did_work = true;
   }
   return did_work;
@@ -284,7 +299,7 @@ Status PageFrameManager::AddPage(PageTable* pt, uint32_t page, PackId pack, Vtoc
   ptw.locked = false;
   ptw.used = true;
   ptw.modified = false;
-  ctx_->metrics.Inc("pfm.pages_added");
+  ctx_->metrics.Inc(id_pages_added_);
   return Status::Ok();
 }
 
@@ -371,7 +386,7 @@ bool PageFrameManager::PageWriterStep(size_t max_writes) {
                                              ctx_->memory.FrameSpan(FrameIndex(
                                                  first_frame_ + static_cast<uint32_t>(slot))));
     ptw.modified = false;
-    ctx_->metrics.Inc("pfm.daemon_writes");
+    ctx_->metrics.Inc(id_daemon_writes_);
     ++written;
   }
   return written > 0;

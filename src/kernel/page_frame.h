@@ -135,6 +135,19 @@ class PageFrameManager {
   VirtualProcessorManager* vpm_;
   RealMemoryQueue* upward_queue_ = nullptr;
 
+  // Hot-path counters, interned once at construction.
+  MetricId id_evictions_;
+  MetricId id_no_evictable_frame_;
+  MetricId id_zero_reclaims_;
+  MetricId id_zero_retained_;
+  MetricId id_writebacks_;
+  MetricId id_faults_serviced_;
+  MetricId id_zero_page_reallocations_;
+  MetricId id_async_reads_;
+  MetricId id_io_completions_;
+  MetricId id_pages_added_;
+  MetricId id_daemon_writes_;
+
   uint32_t first_frame_ = 0;
   uint32_t frame_limit_ = 0;
   std::vector<FrameInfo> frames_;

@@ -10,7 +10,12 @@ SegmentManager::SegmentManager(KernelContext* ctx, CoreSegmentManager* core_segs
       self_(ctx->tracker.Register(module_names::kSegment)),
       core_segs_(core_segs),
       quota_(quota),
-      pfm_(pfm) {}
+      pfm_(pfm),
+      id_ast_replacements_(ctx->metrics.Intern("seg.ast_replacements")),
+      id_activations_(ctx->metrics.Intern("seg.activations")),
+      id_deactivations_(ctx->metrics.Intern("seg.deactivations")),
+      id_growths_(ctx->metrics.Intern("seg.growths")),
+      id_relocations_(ctx->metrics.Intern("seg.relocations")) {}
 
 Status SegmentManager::Init(uint32_t ast_slots) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
@@ -49,7 +54,7 @@ Result<uint32_t> SegmentManager::AllocateSlot() {
   if (victim == kNoAst) {
     return Status(Code::kResourceExhausted, "active segment table full of connected segments");
   }
-  ctx_->metrics.Inc("seg.ast_replacements");
+  ctx_->metrics.Inc(id_ast_replacements_);
   MKS_RETURN_IF_ERROR(Deactivate(victim));
   return victim;
 }
@@ -91,7 +96,7 @@ Result<uint32_t> SegmentManager::Activate(SegmentUid uid, PackId pack, VtocIndex
   // Account the page table words against the resident AST area.
   (void)core_segs_->WriteWord(ast_area_, slot, uid.value);
   by_uid_[uid] = slot;
-  ctx_->metrics.Inc("seg.activations");
+  ctx_->metrics.Inc(id_activations_);
   return slot;
 }
 
@@ -115,6 +120,9 @@ Status SegmentManager::Deactivate(uint32_t slot) {
   if (ast.connections != 0) {
     return Status(Code::kFailedPrecondition, "segment still connected to address spaces");
   }
+  // The slot's page-table storage is about to describe a different segment;
+  // no cached translation through it may survive.
+  ctx_->processor.InvalidateAssociative(&ast.page_table);
   for (uint32_t p = 0; p < ast.max_pages; ++p) {
     if (ast.page_table.ptws[p].in_core) {
       MKS_RETURN_IF_ERROR(
@@ -126,7 +134,7 @@ Status SegmentManager::Deactivate(uint32_t slot) {
   const EventcountId ec = ast.page_ec;
   ast = AstEntry{};
   ast.page_ec = ec;  // eventcounts are per-slot and reusable
-  ctx_->metrics.Inc("seg.deactivations");
+  ctx_->metrics.Inc(id_deactivations_);
   return Status::Ok();
 }
 
@@ -169,7 +177,7 @@ Status SegmentManager::GrowSegment(uint32_t slot, uint32_t page) {
     }
     return added;
   }
-  ctx_->metrics.Inc("seg.growths");
+  ctx_->metrics.Inc(id_growths_);
   return Status::Ok();
 }
 
@@ -238,7 +246,7 @@ Result<SegmentManager::NewHome> SegmentManager::Relocate(uint32_t slot) {
   old_pack->FreeVtoc(ast->vtoc);
   ast->pack = new_pack_id;
   ast->vtoc = new_vtoc;
-  ctx_->metrics.Inc("seg.relocations");
+  ctx_->metrics.Inc(id_relocations_);
   return NewHome{new_pack_id, new_vtoc};
 }
 

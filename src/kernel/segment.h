@@ -105,6 +105,12 @@ class SegmentManager {
   std::vector<AstEntry> ast_;
   std::unordered_map<SegmentUid, uint32_t> by_uid_;
   uint64_t lru_counter_ = 0;
+
+  MetricId id_ast_replacements_;
+  MetricId id_activations_;
+  MetricId id_deactivations_;
+  MetricId id_growths_;
+  MetricId id_relocations_;
 };
 
 }  // namespace mks

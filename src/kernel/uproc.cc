@@ -15,7 +15,9 @@ UserProcessManager::UserProcessManager(KernelContext* ctx, CoreSegmentManager* c
       pfm_(pfm),
       segs_(segs),
       ksm_(ksm),
-      gates_(gates) {}
+      gates_(gates),
+      id_processes_created_(ctx->metrics.Intern("uproc.processes_created")),
+      id_idle_cycles_(ctx->metrics.Intern("uproc.idle_cycles")) {}
 
 Status UserProcessManager::Init() {
   CallTracker::Scope scope(&ctx_->tracker, self_);
@@ -53,7 +55,7 @@ Result<ProcessId> UserProcessManager::CreateProcess(const Subject& subject) {
   proc.state_segno = segno;
 
   procs_.emplace(pid, std::move(proc));
-  ctx_->metrics.Inc("uproc.processes_created");
+  ctx_->metrics.Inc(id_processes_created_);
   return pid;
 }
 
@@ -279,7 +281,7 @@ Status UserProcessManager::RunUntilQuiescent(uint64_t max_passes) {
         // Every process is blocked on the device: the machine idles forward.
         const Cycles due = ctx_->events.next_due();
         if (due > ctx_->clock.now()) {
-          ctx_->metrics.Inc("uproc.idle_cycles", due - ctx_->clock.now());
+          ctx_->metrics.Inc(id_idle_cycles_, due - ctx_->clock.now());
           ctx_->clock.Advance(due - ctx_->clock.now());
         }
         ctx_->events.RunDue(ctx_->clock.now());

@@ -120,6 +120,8 @@ class UserProcessManager {
   SegmentManager* segs_;
   KnownSegmentManager* ksm_;
   KernelGates* gates_;
+  MetricId id_processes_created_;
+  MetricId id_idle_cycles_;
   std::unique_ptr<RealMemoryQueue> queue_;
   std::unordered_map<ProcessId, Process> procs_;
   uint32_t next_pid_ = 1;

@@ -15,7 +15,9 @@ VirtualProcessorManager::VirtualProcessorManager(KernelContext* ctx,
                                                  CoreSegmentManager* core_segs)
     : ctx_(ctx),
       self_(ctx->tracker.Register(module_names::kVproc)),
-      core_segs_(core_segs) {}
+      core_segs_(core_segs),
+      id_pool_size_(ctx->metrics.Intern("vproc.pool_size")),
+      id_dispatches_(ctx->metrics.Intern("vproc.dispatches")) {}
 
 Status VirtualProcessorManager::Init(uint16_t vp_count) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
@@ -30,7 +32,7 @@ Status VirtualProcessorManager::Init(uint16_t vp_count) {
   for (uint16_t i = 0; i < vp_count; ++i) {
     StoreState(VpId(i));
   }
-  ctx_->metrics.Inc("vproc.pool_size", vp_count);
+  ctx_->metrics.Inc(id_pool_size_, vp_count);
   return Status::Ok();
 }
 
@@ -80,7 +82,7 @@ Result<VpId> VirtualProcessorManager::AcquireIdleUserVp() {
       v.state = VpState::kRunning;
       StoreState(VpId(i));
       ctx_->cost.Charge(CodeStyle::kStructured, Costs::kVpSwitch);
-      ctx_->metrics.Inc("vproc.dispatches");
+      ctx_->metrics.Inc(id_dispatches_);
       return VpId(i);
     }
   }

@@ -91,6 +91,8 @@ class VirtualProcessorManager {
   KernelContext* ctx_;
   ModuleId self_;
   CoreSegmentManager* core_segs_;
+  MetricId id_pool_size_;
+  MetricId id_dispatches_;
   CoreSegId state_seg_{};
   std::vector<Vp> vps_;
   uint16_t acquire_cursor_ = 0;  // rotate dispatch across the pool

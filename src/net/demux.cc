@@ -18,11 +18,11 @@ uint64_t GenericDemux::Pump() {
       auto& queue = queues_[{channel->id().value, frame->subchannel.value}];
       if (queue.size() >= queue_capacity_) {
         ++dropped_;
-        metrics_->Inc("net.demux_drops");
+        metrics_->Inc(id_demux_drops_);
         continue;
       }
       queue.push_back(std::move(*frame));
-      metrics_->Inc("net.demux_frames");
+      metrics_->Inc(id_demux_frames_);
       ++routed;
     }
   }
@@ -63,7 +63,7 @@ uint64_t NcpProtocolUser::PumpSubchannel(SubchannelId sub) {
         }
         if (frame->seq != conn.next_seq) {
           ++conn.out_of_order;
-          metrics_->Inc("net.out_of_order");
+          metrics_->Inc(id_out_of_order_);
           break;
         }
         ++conn.next_seq;
@@ -80,7 +80,7 @@ uint64_t NcpProtocolUser::PumpSubchannel(SubchannelId sub) {
       default:
         break;
     }
-    metrics_->Inc("net.user_frames");
+    metrics_->Inc(id_user_frames_);
     ++processed;
   }
   return processed;
@@ -112,7 +112,7 @@ uint64_t TerminalProtocolUser::PumpLine(SubchannelId line_id) {
         line.partial_line.push_back(c);
       }
     }
-    metrics_->Inc("net.user_frames");
+    metrics_->Inc(id_user_frames_);
     ++processed;
   }
   return processed;

@@ -20,7 +20,11 @@ namespace mks {
 class GenericDemux {
  public:
   GenericDemux(CostModel* cost, Metrics* metrics, size_t queue_capacity = 64)
-      : cost_(cost), metrics_(metrics), queue_capacity_(queue_capacity) {}
+      : cost_(cost),
+        metrics_(metrics),
+        id_demux_drops_(metrics->Intern("net.demux_drops")),
+        id_demux_frames_(metrics->Intern("net.demux_frames")),
+        queue_capacity_(queue_capacity) {}
 
   void AttachChannel(MultiplexedChannel* channel) { channels_.push_back(channel); }
 
@@ -38,6 +42,8 @@ class GenericDemux {
  private:
   CostModel* cost_;
   Metrics* metrics_;
+  MetricId id_demux_drops_;
+  MetricId id_demux_frames_;
   size_t queue_capacity_;
   std::vector<MultiplexedChannel*> channels_;
   std::map<std::pair<uint16_t, uint16_t>, std::deque<Frame>> queues_;
@@ -49,7 +55,12 @@ class GenericDemux {
 class NcpProtocolUser {
  public:
   NcpProtocolUser(CostModel* cost, Metrics* metrics, GenericDemux* demux, ChannelId channel)
-      : cost_(cost), metrics_(metrics), demux_(demux), channel_(channel) {}
+      : cost_(cost),
+        metrics_(metrics),
+        id_out_of_order_(metrics->Intern("net.out_of_order")),
+        id_user_frames_(metrics->Intern("net.user_frames")),
+        demux_(demux),
+        channel_(channel) {}
 
   // Drains one subchannel through the kernel gate, running the same NCP
   // logic as the baseline handler — but in the user domain.
@@ -61,6 +72,8 @@ class NcpProtocolUser {
  private:
   CostModel* cost_;
   Metrics* metrics_;
+  MetricId id_out_of_order_;
+  MetricId id_user_frames_;
   GenericDemux* demux_;
   ChannelId channel_;
   std::map<SubchannelId, NcpConnection> connections_;
@@ -70,7 +83,11 @@ class NcpProtocolUser {
 class TerminalProtocolUser {
  public:
   TerminalProtocolUser(CostModel* cost, Metrics* metrics, GenericDemux* demux, ChannelId channel)
-      : cost_(cost), metrics_(metrics), demux_(demux), channel_(channel) {}
+      : cost_(cost),
+        metrics_(metrics),
+        id_user_frames_(metrics->Intern("net.user_frames")),
+        demux_(demux),
+        channel_(channel) {}
 
   uint64_t PumpLine(SubchannelId line);
   std::optional<std::string> ReadLine(SubchannelId line);
@@ -78,6 +95,7 @@ class TerminalProtocolUser {
  private:
   CostModel* cost_;
   Metrics* metrics_;
+  MetricId id_user_frames_;
   GenericDemux* demux_;
   ChannelId channel_;
   std::map<SubchannelId, TerminalLine> lines_;

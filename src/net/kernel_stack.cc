@@ -47,7 +47,7 @@ uint64_t InKernelNetworkStack::PumpArpanetFrame(const Frame& frame) {
       }
       if (frame.seq != conn.next_seq) {
         ++conn.out_of_order;
-        metrics_->Inc("net.out_of_order");
+        metrics_->Inc(id_out_of_order_);
         return 1;
       }
       ++conn.next_seq;
@@ -89,13 +89,13 @@ uint64_t InKernelNetworkStack::PumpAll() {
   if (arpanet_ != nullptr) {
     while (auto frame = arpanet_->Poll()) {
       processed += PumpArpanetFrame(*frame);
-      metrics_->Inc("net.kernel_frames");
+      metrics_->Inc(id_kernel_frames_);
     }
   }
   if (front_end_ != nullptr) {
     while (auto frame = front_end_->Poll()) {
       processed += PumpFrontEndFrame(*frame);
-      metrics_->Inc("net.kernel_frames");
+      metrics_->Inc(id_kernel_frames_);
     }
   }
   for (MultiplexedChannel* channel : extra_nets_) {
@@ -108,7 +108,7 @@ uint64_t InKernelNetworkStack::PumpAll() {
         cost_->Charge(CodeStyle::kOptimized, kDeliverCost);
         conn.delivered.push_back(*frame);
       }
-      metrics_->Inc("net.kernel_frames");
+      metrics_->Inc(id_kernel_frames_);
       ++processed;
     }
   }

@@ -37,7 +37,11 @@ struct TerminalLine {
 
 class InKernelNetworkStack {
  public:
-  InKernelNetworkStack(CostModel* cost, Metrics* metrics) : cost_(cost), metrics_(metrics) {}
+  InKernelNetworkStack(CostModel* cost, Metrics* metrics)
+      : cost_(cost),
+        metrics_(metrics),
+        id_out_of_order_(metrics->Intern("net.out_of_order")),
+        id_kernel_frames_(metrics->Intern("net.kernel_frames")) {}
 
   void AttachArpanet(MultiplexedChannel* channel) { arpanet_ = channel; }
   void AttachFrontEnd(MultiplexedChannel* channel) { front_end_ = channel; }
@@ -63,6 +67,8 @@ class InKernelNetworkStack {
 
   CostModel* cost_;
   Metrics* metrics_;
+  MetricId id_out_of_order_;
+  MetricId id_kernel_frames_;
   MultiplexedChannel* arpanet_ = nullptr;
   MultiplexedChannel* front_end_ = nullptr;
   std::vector<MultiplexedChannel*> extra_nets_;

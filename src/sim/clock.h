@@ -61,6 +61,11 @@ class CostModel {
 struct Costs {
   static constexpr Cycles kMemoryReference = 1;
   static constexpr Cycles kAddressTranslation = 2;
+  // With the associative memory modelled, a translation that misses it pays
+  // two explicit descriptor fetches from core (SDW, then PTW) on top of the
+  // translation logic; a hit pays only the associative search.
+  static constexpr Cycles kDescriptorFetch = 1;
+  static constexpr Cycles kAssocSearch = 1;
   static constexpr Cycles kFaultEntry = 30;          // trap + state save
   static constexpr Cycles kGateCall = 20;            // ring crossing
   static constexpr Cycles kProcedureCall = 5;

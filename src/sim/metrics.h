@@ -4,31 +4,77 @@
 // benches/tests read them back.  Keeping counters centralized lets the
 // benchmark harness report the same event rates the paper discusses without
 // threading bookkeeping through every interface.
+//
+// Two APIs share one value store:
+//
+//  * the handle API: a manager calls Intern(name) once at construction and
+//    Inc(MetricId) on the hot path — a plain array increment, no hashing, no
+//    string materialization.  Every per-reference counter in the system uses
+//    this form.
+//  * the string API: benches and tests read (and occasionally bump) counters
+//    by name.  Lookups are heterogeneous (std::less<>), so a string_view
+//    never allocates a temporary std::string; only the first Intern of a new
+//    name allocates.
 #ifndef MKS_SIM_METRICS_H_
 #define MKS_SIM_METRICS_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace mks {
 
+// A stable handle for one counter; valid for the lifetime of the Metrics
+// instance that issued it.
+using MetricId = uint32_t;
+
 class Metrics {
  public:
-  void Inc(std::string_view name, uint64_t by = 1) { counters_[std::string(name)] += by; }
-
-  uint64_t Get(std::string_view name) const {
-    auto it = counters_.find(std::string(name));
-    return it == counters_.end() ? 0 : it->second;
+  // Returns the handle for `name`, creating the counter (at zero) on first
+  // use.  The only allocating operation; call it at manager construction,
+  // never on a per-reference path.
+  MetricId Intern(std::string_view name) {
+    auto it = ids_.find(name);
+    if (it != ids_.end()) {
+      return it->second;
+    }
+    const MetricId id = static_cast<MetricId>(values_.size());
+    values_.push_back(0);
+    ids_.emplace(std::string(name), id);
+    return id;
   }
 
-  void Reset() { counters_.clear(); }
+  // Hot path: one array increment.
+  void Inc(MetricId id, uint64_t by = 1) { values_[id] += by; }
+  uint64_t Get(MetricId id) const { return id < values_.size() ? values_[id] : 0; }
 
-  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  // String-keyed readback/bump for benches and tests.
+  void Inc(std::string_view name, uint64_t by = 1) { values_[Intern(name)] += by; }
+
+  uint64_t Get(std::string_view name) const {
+    auto it = ids_.find(name);
+    return it == ids_.end() ? 0 : values_[it->second];
+  }
+
+  // Zeroes every counter.  Interned handles stay valid (names are retained),
+  // so managers keep their handles across a Reset.
+  void Reset() { std::fill(values_.begin(), values_.end(), 0); }
+
+  // Snapshot of every counter by name, for reporting.
+  std::map<std::string, uint64_t, std::less<>> counters() const {
+    std::map<std::string, uint64_t, std::less<>> out;
+    for (const auto& [name, id] : ids_) {
+      out.emplace(name, values_[id]);
+    }
+    return out;
+  }
 
  private:
-  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, MetricId, std::less<>> ids_;
+  std::vector<uint64_t> values_;
 };
 
 }  // namespace mks

@@ -20,7 +20,7 @@ std::vector<VpId> EventcountTable::Advance(EventcountId ec) {
   assert(ec.value < cells_.size());
   Cell& cell = cells_[ec.value];
   ++cell.value;
-  metrics_->Inc("sync.advances");
+  metrics_->Inc(id_advances_);
   std::vector<VpId> woken;
   auto it = cell.waiters.begin();
   while (it != cell.waiters.end()) {
@@ -31,7 +31,7 @@ std::vector<VpId> EventcountTable::Advance(EventcountId ec) {
       ++it;
     }
   }
-  metrics_->Inc("sync.wakeups", woken.size());
+  metrics_->Inc(id_wakeups_, woken.size());
   return woken;
 }
 
@@ -42,7 +42,7 @@ bool EventcountTable::AwaitOrEnqueue(EventcountId ec, uint64_t target, VpId wait
     return true;
   }
   cell.waiters.push_back(Waiter{waiter, target});
-  metrics_->Inc("sync.waits");
+  metrics_->Inc(id_waits_);
   return false;
 }
 
