@@ -5,6 +5,7 @@
 // bookkeeping, the in-kernel version runs as trusted optimized code.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/answering/service.h"
 
 namespace mks {
@@ -67,6 +68,13 @@ int main() {
   std::printf("  user-domain (redesign): %9.0f sim cycles/session\n", per_login_user);
   std::printf("  slowdown: %.1f%%   (paper: \"about 3%% slower\")\n\n", slowdown);
   const bool shape_ok = slowdown > 0.0 && slowdown < 15.0;
+  EmitJson(JsonLine("answering")
+               .Field("users", uint64_t{kUsers})
+               .Field("sessions", uint64_t{kSessions})
+               .Field("cyc_per_session_kernel", per_login_kernel)
+               .Field("cyc_per_session_user", per_login_user)
+               .Field("slowdown_pct", slowdown)
+               .Field("reproduced", shape_ok ? "yes" : "no"));
   std::printf("shape (small positive slowdown): %s\n", shape_ok ? "REPRODUCED" : "MISMATCH");
   return shape_ok ? 0 : 1;
 }

@@ -4,6 +4,9 @@
 // primitive operations, plus waiter-count scaling for Advance.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench/bench_util.h"
 #include "src/sync/eventcount.h"
 
 namespace mks {
@@ -69,14 +72,51 @@ void BM_SequencerTicket(benchmark::State& state) {
 }
 BENCHMARK(BM_SequencerTicket);
 
+// These primitives never touch the simulated clock (they are the host-level
+// substrate), so the JSON line reports host nanoseconds per operation from a
+// single fixed-count run.
+template <typename Fn>
+double HostNsPerOp(int iters, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) {
+    fn();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(stop - start).count() / iters;
+}
+
 }  // namespace
 }  // namespace mks
 
 int main(int argc, char** argv) {
+  using namespace mks;
   std::printf(
       "P7 -- eventcounts and sequencers: the discoverer of an event needs no\n"
       "knowledge of the waiting processes' identities; advance is O(waiters)\n"
       "only when waiters exist.\n\n");
+  {
+    constexpr int kIters = 100000;
+    Metrics metrics;
+    EventcountTable table(&metrics);
+    const EventcountId ec = table.Create("x");
+    const double advance_ns = HostNsPerOp(kIters, [&] { table.Advance(ec); });
+    const double read_ns = HostNsPerOp(kIters, [&] { (void)table.Read(ec); });
+    uint64_t target = table.Read(ec) + 1;
+    const double broadcast16_ns = HostNsPerOp(2000, [&] {
+      for (int w = 0; w < 16; ++w) {
+        table.AwaitOrEnqueue(ec, target, VpId(static_cast<uint16_t>(w)));
+      }
+      table.Advance(ec);
+      ++target;
+    });
+    Sequencer seq;
+    const double ticket_ns = HostNsPerOp(kIters, [&] { (void)seq.Ticket(); });
+    EmitJson(JsonLine("eventcounts")
+                 .Field("advance_no_waiters_ns", advance_ns)
+                 .Field("read_ns", read_ns)
+                 .Field("broadcast_16_waiters_ns", broadcast16_ns)
+                 .Field("sequencer_ticket_ns", ticket_ns));
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

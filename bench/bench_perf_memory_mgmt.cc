@@ -12,6 +12,7 @@
 // the asynchronous (daemon) configuration.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/baseline/supervisor.h"
 #include "src/common/rng.h"
 #include "src/fs/path_walker.h"
@@ -206,6 +207,13 @@ int main() {
     tight_ratio = ratio;
     std::printf("%10u %16.0f %16.0f %8.2f %10llu %10llu\n", frames, b, k, ratio,
                 (unsigned long long)baseline.faults, (unsigned long long)kernel.faults);
+    EmitJson(JsonLine("memory_mgmt")
+                 .Field("frames", uint64_t{frames})
+                 .Field("cyc_per_ref_baseline", b)
+                 .Field("cyc_per_ref_kernel", k)
+                 .Field("ratio", ratio)
+                 .Field("baseline_faults", baseline.faults)
+                 .Field("kernel_faults", kernel.faults));
   }
 
   std::printf("\nkernel associative memory at %u frames: %llu hits / %llu misses / %llu\n"
@@ -228,12 +236,19 @@ int main() {
               static_cast<double>(daemons.cycles) / kRefs,
               (unsigned long long)daemons.writebacks,
               (unsigned long long)daemons.daemon_writes);
+  const bool shape = plenty_ratio < tight_ratio && plenty_ratio < 1.6;
+  EmitJson(JsonLine("memory_mgmt_summary")
+               .Field("ratio_plenty", plenty_ratio)
+               .Field("ratio_tight", tight_ratio)
+               .Field("async_cyc_per_ref", static_cast<double>(daemons.cycles) / kRefs)
+               .Field("async_inline_writebacks", daemons.writebacks)
+               .Field("async_daemon_writes", daemons.daemon_writes)
+               .Field("reproduced", shape ? "yes" : "no"));
 
   std::printf(
       "\npaper shape: new design slightly slower with ample memory, the gap\n"
       "widening only when cramped and thrashing.\n"
       "ratio at %u frames: %.2fx ; ratio at %u frames: %.2fx -> %s\n",
-      sweeps[0], plenty_ratio, sweeps[4], tight_ratio,
-      (plenty_ratio < tight_ratio && plenty_ratio < 1.6) ? "REPRODUCED" : "MISMATCH");
+      sweeps[0], plenty_ratio, sweeps[4], tight_ratio, shape ? "REPRODUCED" : "MISMATCH");
   return 0;
 }

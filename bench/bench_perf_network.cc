@@ -10,6 +10,7 @@
 //          the path becomes trivial.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/net/demux.h"
 
 namespace mks {
@@ -100,11 +101,20 @@ int main() {
       user_cost2 = user_domain;
     }
     std::printf("%10d %18.1f %22.1f\n", n, in_kernel, user_domain);
+    EmitJson(JsonLine("network")
+                 .Field("networks", static_cast<uint64_t>(n))
+                 .Field("cyc_per_frame_in_kernel", in_kernel)
+                 .Field("cyc_per_frame_user_domain", user_domain)
+                 .Field("baseline_kernel_lines", static_cast<uint64_t>(BaselineKernelLines(n)))
+                 .Field("demux_kernel_lines", static_cast<uint64_t>(DemuxKernelLines(n))));
   }
   std::printf("\nuser-domain overhead at 2 networks: %.1f%%\n",
               100.0 * (user_cost2 / kernel_cost2 - 1.0));
   const bool size_shape = DemuxKernelLines(4) < 1200 && BaselineKernelLines(4) > 10000;
   const bool speed_shape = user_cost2 > kernel_cost2 && user_cost2 < 4.0 * kernel_cost2;
+  EmitJson(JsonLine("network_summary")
+               .Field("user_domain_overhead_pct", 100.0 * (user_cost2 / kernel_cost2 - 1.0))
+               .Field("reproduced", (size_shape && speed_shape) ? "yes" : "no"));
   std::printf(
       "\npaper shape: kernel bulk much reduced and ~independent of network count,\n"
       "at a modest per-frame cost in the user domain -> %s\n",

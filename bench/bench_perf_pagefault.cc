@@ -10,6 +10,7 @@
 // path under both designs, sweeping the baseline's conflict rate.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/baseline/supervisor.h"
 #include "src/fs/path_walker.h"
 #include "src/kernel/kernel.h"
@@ -38,13 +39,11 @@ double BaselineFaultCost(double conflict_rate, uint64_t* retries) {
     (void)sup.Write(*uid, p * kPageWords, p + 1);
   }
   const Cycles before = sup.clock().now();
-  const uint64_t faults_before = sup.metrics().Get("baseline.page_faults");
   for (uint32_t r = 0; r < kRounds; ++r) {
     for (uint32_t p = 0; p < kPages; ++p) {
       (void)sup.Read(*uid, p * kPageWords);
     }
   }
-  (void)faults_before;
   *retries = sup.metrics().Get("baseline.retranslation_conflicts");
   return static_cast<double>(sup.clock().now() - before) /
          static_cast<double>(kRounds * kPages);
@@ -79,13 +78,11 @@ double KernelFaultCost(uint64_t* locked_waits, AssocStats* assoc) {
     (void)kernel.gates().Write(*ctx, *segno, p * kPageWords, p + 1);
   }
   const Cycles before = kernel.clock().now();
-  const uint64_t faults_before = kernel.metrics().Get("pfm.faults_serviced");
   for (uint32_t r = 0; r < kRounds; ++r) {
     for (uint32_t p = 0; p < kPages; ++p) {
       (void)kernel.gates().Read(*ctx, *segno, p * kPageWords);
     }
   }
-  (void)faults_before;
   *locked_waits = kernel.metrics().Get("gates.locked_descriptor_waits");
   assoc->hits = kernel.metrics().Get("hw.assoc_hits");
   assoc->misses = kernel.metrics().Get("hw.assoc_misses");
@@ -111,12 +108,26 @@ int main() {
     }
     std::printf("baseline, global lock, conflict rate %4.0f%%   %14.0f %12llu\n", rate * 100,
                 cost, (unsigned long long)retries);
+    EmitJson(JsonLine("pagefault")
+                 .Field("config", "baseline")
+                 .Field("conflict_rate", rate)
+                 .Field("cyc_per_ref", cost)
+                 .Field("conflicts", retries));
   }
   uint64_t locked_waits = 0;
   AssocStats assoc;
   const double kernel_cost = KernelFaultCost(&locked_waits, &assoc);
   std::printf("%-44s %14.0f %12llu\n", "new design, descriptor lock bit", kernel_cost,
               (unsigned long long)locked_waits);
+  EmitJson(JsonLine("pagefault")
+               .Field("config", "kernel_lock_bit")
+               .Field("cyc_per_ref", kernel_cost)
+               .Field("locked_waits", locked_waits)
+               .Field("assoc_hits", assoc.hits)
+               .Field("assoc_misses", assoc.misses)
+               .Field("assoc_flushes", assoc.flushes)
+               .Field("delta_vs_clean_baseline", baseline_clean - kernel_cost)
+               .Field("reproduced", locked_waits == 0 ? "yes" : "no"));
   std::printf("\nassociative memory on the kernel run: %llu hits / %llu misses / %llu flushes\n"
               "(the cyclic sweep defeats it by design: every page is evicted and\n"
               "invalidated before its next touch)\n",

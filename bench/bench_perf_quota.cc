@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "src/baseline/supervisor.h"
 #include "src/fs/path_walker.h"
 #include "src/kernel/kernel.h"
@@ -93,6 +94,10 @@ int main() {
     const double baseline = BaselineGrowthCost(depth, kGrowths);
     const double kernel = KernelGrowthCost(depth, kGrowths);
     std::printf("%8u %18.0f %18.0f\n", depth, baseline, kernel);
+    EmitJson(JsonLine("quota")
+                 .Field("depth", uint64_t{depth})
+                 .Field("cyc_per_growth_baseline", baseline)
+                 .Field("cyc_per_growth_kernel", kernel));
     if (depth == depths[0]) {
       baseline_first = baseline;
       kernel_first = kernel;
@@ -108,6 +113,10 @@ int main() {
       baseline_growth, kernel_growth);
   const bool shape = baseline_growth > 8 * (kernel_growth < 0 ? -kernel_growth : kernel_growth) ||
                      (baseline_growth > 50 && kernel_growth < 10);
+  EmitJson(JsonLine("quota_summary")
+               .Field("baseline_growth_d1_to_d32", baseline_growth)
+               .Field("kernel_growth_d1_to_d32", kernel_growth)
+               .Field("reproduced", shape ? "yes" : "no"));
   std::printf(
       "\npaper: \"a dynamic upward search of the hierarchy to locate the\n"
       "appropriate quota directory is no longer required each time a segment\n"

@@ -10,6 +10,7 @@
 // scheduler with the real-memory queue), and compares simulated cycles.
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "src/baseline/supervisor.h"
 #include "src/fs/path_walker.h"
 #include "src/kernel/kernel.h"
@@ -121,6 +122,13 @@ int main() {
   std::printf("  two-level (new design): %9.0f sim cycles/op\n", k);
   std::printf("  ratio: %.2fx\n\n", k / b);
   const bool shape = k / b > 0.6 && k / b < 1.8;
+  EmitJson(JsonLine("scheduler")
+               .Field("processes", uint64_t{kProcesses})
+               .Field("ops_per_process", uint64_t{kOpsPerProcess})
+               .Field("cyc_per_op_baseline", b)
+               .Field("cyc_per_op_kernel", k)
+               .Field("ratio", k / b)
+               .Field("reproduced", shape ? "yes" : "no"));
   std::printf(
       "paper: \"confident that the combination of the layers will have a\n"
       "performance about the same as the current system\" (claim marked\n"

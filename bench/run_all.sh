@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs every bench_perf_* binary and collects their machine-readable result
+# lines (one JSON object per line, emitted via bench_util.h's EmitJson) into
+# a single JSON-lines file.
+#
+# Usage: bench/run_all.sh [build-dir] [output-file]
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_pr2.json}"
+BENCH_DIR="${BUILD_DIR}/bench"
+
+if [ ! -d "${BENCH_DIR}" ]; then
+  echo "error: ${BENCH_DIR} not found; build first (cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j)" >&2
+  exit 2
+fi
+
+: > "${OUT}"
+failures=0
+for bench in "${BENCH_DIR}"/bench_perf_*; do
+  [ -x "${bench}" ] || continue
+  name="$(basename "${bench}")"
+  echo "--- ${name}"
+  # The google-benchmark binaries accept the min-time flag; the plain ones
+  # ignore unknown argv entirely (their main() takes no flags).
+  case "${name}" in
+    bench_perf_eventcounts|bench_perf_linker|bench_perf_name_manager)
+      output="$("${bench}" --benchmark_min_time=0.05s 2>&1)" ;;
+    *)
+      output="$("${bench}" 2>&1)" ;;
+  esac
+  status=$?
+  if [ ${status} -ne 0 ]; then
+    echo "FAILED (exit ${status}): ${name}" >&2
+    echo "${output}" | tail -5 >&2
+    failures=$((failures + 1))
+  fi
+  echo "${output}" | grep '^{' >> "${OUT}" || true
+done
+
+echo
+echo "collected $(wc -l < "${OUT}") result lines into ${OUT}"
+exit "${failures}"

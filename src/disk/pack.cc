@@ -30,7 +30,9 @@ DiskPack::DiskPack(PackId id, uint32_t record_count, uint32_t vtoc_slots, CostMo
       id_records_freed_(metrics->Intern("disk.records_freed")),
       id_reads_(metrics->Intern("disk.reads")),
       id_writes_(metrics->Intern("disk.writes")),
-      id_vtoc_allocated_(metrics->Intern("disk.vtoc_allocated")) {}
+      id_vtoc_allocated_(metrics->Intern("disk.vtoc_allocated")),
+      id_batch_dispatches_(metrics->Intern("disk.batch_dispatches")),
+      id_batched_records_(metrics->Intern("disk.batched_records")) {}
 
 Result<RecordIndex> DiskPack::AllocateRecord() {
   if (free_records_ == 0) {
@@ -88,6 +90,54 @@ void DiskPack::CopyRecord(RecordIndex record, std::span<Word> out) const {
 void DiskPack::StoreRecord(RecordIndex record, std::span<const Word> in) {
   assert(record.value < record_count_ && in.size() == kPageWords);
   record_data_[record.value].assign(in.begin(), in.end());
+}
+
+void DiskPack::QueueRead(RecordIndex record, uint64_t cookie) {
+  assert(record.value < record_count_);
+  io_queue_.push_back(IoRequest{false, record, cookie, {}});
+}
+
+void DiskPack::QueueWrite(RecordIndex record, std::span<const Word> in, uint64_t cookie) {
+  assert(record.value < record_count_ && in.size() == kPageWords);
+  IoRequest req{true, record, cookie, {}};
+  req.data.assign(in.begin(), in.end());
+  io_queue_.push_back(std::move(req));
+}
+
+size_t DiskPack::DispatchBatch(size_t max_batch, std::vector<uint64_t>* completed_reads) {
+  if (io_queue_.empty() || max_batch == 0) {
+    return 0;
+  }
+  const size_t take = io_queue_.size() < max_batch ? io_queue_.size() : max_batch;
+  std::vector<IoRequest> round(std::make_move_iterator(io_queue_.begin()),
+                               std::make_move_iterator(io_queue_.begin() + take));
+  io_queue_.erase(io_queue_.begin(), io_queue_.begin() + take);
+  // One arm sweep per round: service in record order so every request after
+  // the first rides the same seek.
+  std::sort(round.begin(), round.end(),
+            [](const IoRequest& a, const IoRequest& b) { return a.record.value < b.record.value; });
+  metrics_->Inc(id_batch_dispatches_);
+  bool first = true;
+  for (IoRequest& req : round) {
+    if (first) {
+      cost_->Charge(CodeStyle::kOptimized,
+                    req.write ? Costs::kDiskWriteLatency : Costs::kDiskReadLatency);
+      first = false;
+    } else {
+      cost_->Charge(CodeStyle::kOptimized, Costs::kDiskBatchedTransfer);
+      metrics_->Inc(id_batched_records_);
+    }
+    if (req.write) {
+      metrics_->Inc(id_writes_);
+      record_data_[req.record.value] = std::move(req.data);
+    } else {
+      metrics_->Inc(id_reads_);
+      if (completed_reads != nullptr) {
+        completed_reads->push_back(req.cookie);
+      }
+    }
+  }
+  return take;
 }
 
 Result<VtocIndex> DiskPack::AllocateVtoc(SegmentUid uid, bool is_directory) {

@@ -71,6 +71,22 @@ class DiskPack {
   // Record I/O; charges transfer latency to the clock.
   void ReadRecord(RecordIndex record, std::span<Word> out);
   void WriteRecord(RecordIndex record, std::span<const Word> in);
+
+  // ---- Batched request queue (the anticipatory paging pipeline) ----
+  //
+  // Callers (the page daemons) post read/write requests and later dispatch
+  // them in rounds.  A round pops up to `max_batch` requests, sorts them by
+  // record index, and charges the arm-sweep cost model: the first record pays
+  // the full latency, every further record in the sorted sweep pays only
+  // kDiskBatchedTransfer.  Writes staged their data at queue time, so the
+  // source frame may be reused immediately; completed read cookies are
+  // returned for the caller to CopyRecord into the destination frame (the
+  // transfer latency was charged here, so the copy itself is free).
+  void QueueRead(RecordIndex record, uint64_t cookie);
+  void QueueWrite(RecordIndex record, std::span<const Word> in, uint64_t cookie);
+  size_t queued_io() const { return io_queue_.size(); }
+  // Returns the number of requests dispatched (0 when the queue is empty).
+  size_t DispatchBatch(size_t max_batch, std::vector<uint64_t>* completed_reads);
   // Data copy without a latency charge, for transfers whose simulated time
   // was accounted elsewhere (asynchronous completions, pack-to-pack moves).
   void CopyRecord(RecordIndex record, std::span<Word> out) const;
@@ -85,6 +101,13 @@ class DiskPack {
   uint32_t vtoc_in_use() const;
 
  private:
+  struct IoRequest {
+    bool write = false;
+    RecordIndex record{};
+    uint64_t cookie = 0;
+    std::vector<Word> data;  // staged at queue time for writes
+  };
+
   PackId id_;
   uint32_t record_count_;
   uint32_t free_records_;
@@ -92,6 +115,7 @@ class DiskPack {
   std::vector<bool> record_used_;
   std::vector<std::vector<Word>> record_data_;  // lazily sized per record
   std::vector<VtocEntry> vtoc_;
+  std::vector<IoRequest> io_queue_;
   CostModel* cost_;
   Metrics* metrics_;
   MetricId id_pack_full_;
@@ -100,6 +124,8 @@ class DiskPack {
   MetricId id_reads_;
   MetricId id_writes_;
   MetricId id_vtoc_allocated_;
+  MetricId id_batch_dispatches_;
+  MetricId id_batched_records_;
 };
 
 // The set of mounted packs plus placement policy.

@@ -57,9 +57,17 @@ struct Ptw {
 // A segment's page table.  In the real system page tables live in the active
 // segment table region of permanently-resident core; here the container is a
 // C++ vector and residency is accounted by the core-segment manager.
+//
+// The readahead fields are page control's per-segment sequentiality hints,
+// kept beside the PTWs exactly because the page table is the one structure
+// already in hand at fault time: `last_fault_page` records the most recent
+// demand fault and `prefetch_until` the end of the last anticipatory window,
+// so a fault at either frontier is recognized as a continuing forward scan.
 struct PageTable {
   SegmentUid owner{};
   std::vector<Ptw> ptws;
+  uint32_t last_fault_page = UINT32_MAX;  // UINT32_MAX: no fault seen yet
+  uint32_t prefetch_until = 0;            // exclusive end of the last window
 };
 
 // Segment descriptor word.

@@ -49,8 +49,13 @@ Status Kernel::Boot() {
   core_segs_->Seal();
   pfm_->set_async(config_.async_paging);
   pfm_->set_retain_zero_records(config_.close_zero_page_channel);
-  // Stage 6: permanently bind the kernel daemons to virtual processors.
-  if (config_.async_paging) {
+  pfm_->set_pipeline(config_.paging_pipeline);
+  // Stage 6: permanently bind the kernel daemons to virtual processors.  The
+  // daemons run for asynchronous paging and for any pipeline knob: the
+  // pre-cleaner needs the page-writer's idle-time pump, and batched queues
+  // need the page-I/O daemon to dispatch rounds.
+  const PagingPipeline& pp = config_.paging_pipeline;
+  if (config_.async_paging || pp.precleaning || pp.batched_io || pp.readahead) {
     MKS_RETURN_IF_ERROR(
         vpm_->BindKernelTask("page_io_daemon", [this]() { return pfm_->PageIoDaemonStep(); })
             .status());

@@ -30,6 +30,9 @@ struct KernelConfig {
   double structured_factor = CostModel::kDefaultStructuredFactor;
   bool async_paging = false;
   bool close_zero_page_channel = false;
+  // Anticipatory paging pipeline (all knobs default off — demand paging with
+  // inline evictions, exactly the pre-pipeline behaviour).
+  PagingPipeline paging_pipeline;
   uint64_t root_quota = 1u << 20;
   Label root_label = Label::SystemLow();
   // Default: world-usable root, so examples/tests can build a hierarchy.

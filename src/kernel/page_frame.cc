@@ -21,7 +21,13 @@ PageFrameManager::PageFrameManager(KernelContext* ctx, CoreSegmentManager* core_
       id_async_reads_(ctx->metrics.Intern("pfm.async_reads")),
       id_io_completions_(ctx->metrics.Intern("pfm.io_completions")),
       id_pages_added_(ctx->metrics.Intern("pfm.pages_added")),
-      id_daemon_writes_(ctx->metrics.Intern("pfm.daemon_writes")) {}
+      id_daemon_writes_(ctx->metrics.Intern("pfm.daemon_writes")),
+      id_inline_evictions_(ctx->metrics.Intern("pfm.inline_evictions")),
+      id_precleaned_frames_(ctx->metrics.Intern("pfm.precleaned_frames")),
+      id_queued_writebacks_(ctx->metrics.Intern("pfm.queued_writebacks")),
+      id_prefetch_issued_(ctx->metrics.Intern("pfm.prefetch_issued")),
+      id_prefetch_hits_(ctx->metrics.Intern("pfm.prefetch_hits")),
+      id_prefetch_waste_(ctx->metrics.Intern("pfm.prefetch_waste")) {}
 
 Status PageFrameManager::Init() {
   CallTracker::Scope scope(&ctx_->tracker, self_);
@@ -38,18 +44,15 @@ Status PageFrameManager::Init() {
   return Status::Ok();
 }
 
-Result<FrameIndex> PageFrameManager::AcquireFrame() {
-  if (!free_list_.empty()) {
-    FrameIndex frame = free_list_.back();
-    free_list_.pop_back();
-    info(frame).state = FrameState::kInUse;
-    return frame;
-  }
+uint32_t PageFrameManager::ClockSelectVictim() {
   // Clock replacement over the pageable region.
   const uint32_t n = static_cast<uint32_t>(frames_.size());
   for (uint32_t step = 0; step < 2 * n; ++step) {
     const uint32_t slot = clock_hand_;
-    clock_hand_ = (clock_hand_ + 1) % n;
+    ++clock_hand_;
+    if (clock_hand_ == n) {
+      clock_hand_ = 0;
+    }
     FrameInfo& fi = frames_[slot];
     if (fi.state != FrameState::kInUse || fi.pt == nullptr) {
       continue;
@@ -59,22 +62,49 @@ Result<FrameIndex> PageFrameManager::AcquireFrame() {
       continue;  // a fault is in service on this page
     }
     if (ptw.used) {
+      if (fi.prefetched) {
+        // First evidence the anticipated page was actually referenced.
+        fi.prefetched = false;
+        ctx_->metrics.Inc(id_prefetch_hits_);
+      }
       ptw.used = false;  // second chance
+      fi.prefetch_grace = false;
       continue;
     }
-    const FrameIndex victim(first_frame_ + slot);
-    ctx_->metrics.Inc(id_evictions_);
-    MKS_RETURN_IF_ERROR(CleanAndRelease(victim));
+    if (fi.prefetch_grace) {
+      fi.prefetch_grace = false;  // one sweep of grace for an unread prefetch
+      continue;
+    }
+    return slot;
+  }
+  return UINT32_MAX;
+}
+
+Result<FrameIndex> PageFrameManager::AcquireFrame() {
+  if (!free_list_.empty()) {
     FrameIndex frame = free_list_.back();
     free_list_.pop_back();
     info(frame).state = FrameState::kInUse;
     return frame;
   }
-  ctx_->metrics.Inc(id_no_evictable_frame_);
-  return Status(Code::kResourceExhausted, "no evictable page frame");
+  const uint32_t slot = ClockSelectVictim();
+  if (slot == UINT32_MAX) {
+    ctx_->metrics.Inc(id_no_evictable_frame_);
+    return Status(Code::kResourceExhausted, "no evictable page frame");
+  }
+  // The pool is dry: the fault path pays the eviction inline — the fallback
+  // the pre-cleaner exists to make rare.
+  const FrameIndex victim(first_frame_ + slot);
+  ctx_->metrics.Inc(id_evictions_);
+  ctx_->metrics.Inc(id_inline_evictions_);
+  MKS_RETURN_IF_ERROR(CleanAndRelease(victim));
+  FrameIndex frame = free_list_.back();
+  free_list_.pop_back();
+  info(frame).state = FrameState::kInUse;
+  return frame;
 }
 
-Status PageFrameManager::CleanAndRelease(FrameIndex frame) {
+Status PageFrameManager::CleanAndRelease(FrameIndex frame, bool queue_writeback) {
   FrameInfo& fi = info(frame);
   assert(fi.state == FrameState::kInUse && fi.pt != nullptr);
   Ptw& ptw = fi.pt->ptws[fi.page];
@@ -83,6 +113,11 @@ Status PageFrameManager::CleanAndRelease(FrameIndex frame) {
     return Status(Code::kInternal, "VTOC entry vanished under a resident page");
   }
   FileMapEntry& fm = entry->file_map[fi.page];
+  if (fi.prefetched) {
+    // Final verdict on an anticipated page that the clock never re-examined.
+    ctx_->metrics.Inc(ptw.used ? id_prefetch_hits_ : id_prefetch_waste_);
+    fi.prefetched = false;
+  }
 
   if (ptw.modified) {
     // The page-removal algorithm must scan the page for the zero-page
@@ -108,7 +143,15 @@ Status PageFrameManager::CleanAndRelease(FrameIndex frame) {
     } else {
       assert(fm.allocated);
       fm.zero = false;
-      ctx_->volumes.pack(fi.pack)->WriteRecord(fm.record, ctx_->memory.FrameSpan(frame));
+      if (queue_writeback) {
+        // Staged on the pack's request queue: the data is copied now, so the
+        // frame is immediately reusable; the (batched) latency is charged
+        // when the daemon dispatches the round.
+        ctx_->volumes.pack(fi.pack)->QueueWrite(fm.record, ctx_->memory.FrameSpan(frame), 0);
+        ctx_->metrics.Inc(id_queued_writebacks_);
+      } else {
+        ctx_->volumes.pack(fi.pack)->WriteRecord(fm.record, ctx_->memory.FrameSpan(frame));
+      }
       ctx_->metrics.Inc(id_writebacks_);
     }
   }
@@ -135,6 +178,14 @@ Status PageFrameManager::ServiceMissingPage(PageTable* pt, uint32_t page, PackId
   if (ptw.in_core && !ptw.locked) {
     return Status::Ok();  // another processor already serviced the page
   }
+  // Note on locked descriptors: with the lock bit the hardware locks the PTW
+  // as part of raising this very fault, so `ptw.locked` here normally means
+  // "locked by the fault now being serviced".  A page with a *posted*
+  // transfer (async demand read or a readahead) faults as kLockedDescriptor
+  // instead — the processor sees the already-locked PTW — and the gate layer
+  // parks the toucher on the segment's page-arrival eventcount; such faults
+  // never reach this routine.  Synchronous mode leaves no locked windows at
+  // all: the anticipatory sweep drains the request queue before returning.
   VtocEntry* entry = ctx_->volumes.pack(pack)->GetVtoc(vtoc);
   if (entry == nullptr) {
     return Status(Code::kInternal, "missing page for a segment with no VTOC entry");
@@ -188,6 +239,9 @@ Status PageFrameManager::ServiceMissingPage(PageTable* pt, uint32_t page, PackId
     ptw.locked = false;
     ptw.modified = true;  // core copy now diverges from the reclaimed record
     vpm_->Advance(seg_ec);
+    if (pipeline_.readahead) {
+      MaybeReadahead(pt, page, pack, vtoc, cell, seg_ec);
+    }
     return Status::Ok();
   }
 
@@ -197,6 +251,9 @@ Status PageFrameManager::ServiceMissingPage(PageTable* pt, uint32_t page, PackId
     ptw.in_core = true;
     ptw.locked = false;
     vpm_->Advance(seg_ec);
+    if (pipeline_.readahead) {
+      MaybeReadahead(pt, page, pack, vtoc, cell, seg_ec);
+    }
     return Status::Ok();
   }
 
@@ -212,12 +269,115 @@ Status PageFrameManager::ServiceMissingPage(PageTable* pt, uint32_t page, PackId
                         });
   ctx_->metrics.Inc(id_async_reads_);
   (void)record;
+  if (pipeline_.readahead) {
+    MaybeReadahead(pt, page, pack, vtoc, cell, seg_ec);
+  }
   if (wait != nullptr) {
     wait->valid = true;
     wait->ec = seg_ec;
     wait->target = ctx_->eventcounts.Read(seg_ec) + 1;
   }
   return Status(Code::kBlocked, "page read posted");
+}
+
+void PageFrameManager::MaybeReadahead(PageTable* pt, uint32_t page, PackId pack,
+                                      VtocIndex vtoc, QuotaCellId cell, EventcountId seg_ec) {
+  // Forward-sequential detection: the fault either extends the last demand
+  // fault by one, or lands on the frontier of the last anticipatory window
+  // (the first page NOT prefetched — the scan ran off the end of it).
+  const bool sequential =
+      (pt->last_fault_page != UINT32_MAX && page == pt->last_fault_page + 1) ||
+      (pt->prefetch_until != 0 && page == pt->prefetch_until);
+  pt->last_fault_page = page;
+  if (!sequential) {
+    return;
+  }
+  DiskPack* dp = ctx_->volumes.pack(pack);
+  VtocEntry* entry = dp->GetVtoc(vtoc);
+  if (entry == nullptr) {
+    return;
+  }
+  // Start right after the faulting page: pages of a still-live window are
+  // in core (or locked in flight) and stop the loop below, so a stale
+  // `prefetch_until` from an earlier pass needs no special casing.
+  const uint32_t stop = page + 1 + pipeline_.readahead_depth;
+  uint32_t posted = 0;
+  for (uint32_t q = page + 1; q < stop; ++q) {
+    if (q >= pt->ptws.size() || q >= entry->file_map.size()) {
+      break;
+    }
+    // Anticipation draws only on the pool above the low watermark, so it can
+    // never push a demand fault into the inline-eviction fallback.
+    if (free_list_.size() <= pipeline_.low_watermark) {
+      break;
+    }
+    const FileMapEntry& fm = entry->file_map[q];
+    if (!fm.allocated || fm.zero) {
+      break;  // zero pages carry charge semantics; never prefetch them
+    }
+    Ptw& qptw = pt->ptws[q];
+    if (qptw.in_core || qptw.locked || qptw.unallocated) {
+      break;
+    }
+    const FrameIndex frame = free_list_.back();
+    free_list_.pop_back();
+    FrameInfo& fi = info(frame);
+    fi.state = FrameState::kIoInProgress;
+    fi.pt = pt;
+    fi.page = q;
+    fi.pack = pack;
+    fi.vtoc = vtoc;
+    fi.cell = cell;
+    fi.seg_ec = seg_ec;
+    fi.prefetched = true;
+    fi.prefetch_grace = true;
+    qptw.locked = true;  // colliding references wait on the page's eventcount
+    dp->QueueRead(fm.record, frame.value);
+    ctx_->metrics.Inc(id_prefetch_issued_);
+    pt->prefetch_until = q + 1;
+    ++posted;
+  }
+  if (posted > 0 && !async_) {
+    // Synchronous mode has no daemon running between faults: the
+    // anticipatory sweep completes before the fault returns, leaving no
+    // locked window behind.
+    while (dp->queued_io() > 0) {
+      DispatchPackQueue(pack);
+    }
+  }
+}
+
+size_t PageFrameManager::DispatchPackQueue(PackId pack) {
+  const size_t batch = pipeline_.batched_io ? pipeline_.io_batch_size : 1;
+  std::vector<uint64_t> completed;
+  const size_t dispatched = ctx_->volumes.pack(pack)->DispatchBatch(batch, &completed);
+  for (uint64_t cookie : completed) {
+    CompletePostedRead(FrameIndex(static_cast<uint32_t>(cookie)));
+  }
+  return dispatched;
+}
+
+void PageFrameManager::CompletePostedRead(FrameIndex frame) {
+  FrameInfo& fi = info(frame);
+  if (fi.state != FrameState::kIoInProgress || fi.pt == nullptr) {
+    return;  // the segment was deactivated while the read was queued
+  }
+  VtocEntry* entry = ctx_->volumes.pack(fi.pack)->GetVtoc(fi.vtoc);
+  if (entry != nullptr) {
+    // The transfer latency was charged by the dispatch round; the copy is
+    // free, like an asynchronous completion.
+    const FileMapEntry& fm = entry->file_map[fi.page];
+    ctx_->volumes.pack(fi.pack)->CopyRecord(fm.record, ctx_->memory.FrameSpan(frame));
+  }
+  Ptw& ptw = fi.pt->ptws[fi.page];
+  ptw.frame = frame.value;
+  ptw.in_core = true;
+  ptw.locked = false;
+  ptw.used = false;  // unreferenced until the scan actually arrives
+  ptw.modified = false;
+  fi.state = FrameState::kInUse;
+  vpm_->Advance(fi.seg_ec);
+  ctx_->metrics.Inc(id_io_completions_);
 }
 
 bool PageFrameManager::PageIoDaemonStep() {
@@ -255,7 +415,44 @@ bool PageFrameManager::PageIoDaemonStep() {
     ctx_->metrics.Inc(id_io_completions_);
     did_work = true;
   }
+  // Dispatch the per-pack request queues: prefetch reads and batched daemon
+  // writebacks complete here, one record-sorted round per pack per step.
+  for (uint16_t p = 0; p < ctx_->volumes.pack_count(); ++p) {
+    if (DispatchPackQueue(PackId(p)) > 0) {
+      did_work = true;
+    }
+  }
   return did_work;
+}
+
+bool PageFrameManager::ReplenishFreePool() {
+  if (free_list_.size() >= pipeline_.low_watermark) {
+    return false;
+  }
+  bool any = false;
+  while (free_list_.size() < pipeline_.high_watermark) {
+    const uint32_t slot = ClockSelectVictim();
+    if (slot == UINT32_MAX) {
+      break;  // nothing evictable; the fault path will report exhaustion
+    }
+    const FrameIndex victim(first_frame_ + slot);
+    ctx_->metrics.Inc(id_evictions_);
+    ctx_->metrics.Inc(id_precleaned_frames_);
+    if (!CleanAndRelease(victim, pipeline_.batched_io).ok()) {
+      break;
+    }
+    any = true;
+  }
+  if (pipeline_.batched_io && any) {
+    // Flush the staged writebacks in record-sorted rounds — the amortization
+    // inline eviction can never have.
+    for (uint16_t p = 0; p < ctx_->volumes.pack_count(); ++p) {
+      while (ctx_->volumes.pack(PackId(p))->queued_io() > 0) {
+        DispatchPackQueue(PackId(p));
+      }
+    }
+  }
+  return any;
 }
 
 Status PageFrameManager::AddPage(PageTable* pt, uint32_t page, PackId pack, VtocIndex vtoc,
@@ -364,7 +561,12 @@ void PageFrameManager::AuditIntegrity(std::vector<std::string>* findings) const 
 
 bool PageFrameManager::PageWriterStep(size_t max_writes) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  bool replenished = false;
+  if (pipeline_.precleaning) {
+    replenished = ReplenishFreePool();
+  }
   size_t written = 0;
+  bool queued = false;
   for (size_t slot = 0; slot < frames_.size() && written < max_writes; ++slot) {
     FrameInfo& fi = frames_[slot];
     if (fi.state != FrameState::kInUse || fi.pt == nullptr) {
@@ -382,14 +584,42 @@ bool PageFrameManager::PageWriterStep(size_t max_writes) {
     if (!fm.allocated) {
       continue;  // zero page without a record; leave for eviction-time logic
     }
-    ctx_->volumes.pack(fi.pack)->WriteRecord(fm.record,
-                                             ctx_->memory.FrameSpan(FrameIndex(
-                                                 first_frame_ + static_cast<uint32_t>(slot))));
+    const FrameIndex frame(first_frame_ + static_cast<uint32_t>(slot));
+    // Zero detection rides the write transfer for free (staging the data
+    // reads every word anyway).  An all-zero page is NOT cleaned here: it
+    // stays modified so the eviction path makes the reclaim-vs-retain
+    // accounting decision — cleaning it would silently keep a record and a
+    // quota charge the missing-page semantics say must be given back.
+    const std::span<const Word> span = ctx_->memory.FrameSpan(frame);
+    bool all_zero = true;
+    for (const Word w : span) {
+      if (w != 0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) {
+      continue;
+    }
+    if (pipeline_.batched_io) {
+      ctx_->volumes.pack(fi.pack)->QueueWrite(fm.record, ctx_->memory.FrameSpan(frame), 0);
+      ctx_->metrics.Inc(id_queued_writebacks_);
+      queued = true;
+    } else {
+      ctx_->volumes.pack(fi.pack)->WriteRecord(fm.record, ctx_->memory.FrameSpan(frame));
+    }
     ptw.modified = false;
     ctx_->metrics.Inc(id_daemon_writes_);
     ++written;
   }
-  return written > 0;
+  if (queued) {
+    for (uint16_t p = 0; p < ctx_->volumes.pack_count(); ++p) {
+      while (ctx_->volumes.pack(PackId(p))->queued_io() > 0) {
+        DispatchPackQueue(PackId(p));
+      }
+    }
+  }
+  return replenished || written > 0;
 }
 
 }  // namespace mks

@@ -43,6 +43,40 @@ struct WaitSpec {
   uint64_t target = 0;
 };
 
+// Knobs for the anticipatory paging pipeline.  Every knob defaults off, and
+// with all three off the fault path is byte-for-byte the pre-pipeline code.
+// They are independent so the ablation benches can isolate each effect:
+//
+//  * precleaning — the page-writer daemon keeps the free pool between the
+//    watermarks by running the clock and cleaning victims ahead of demand;
+//    a fault pays an inline eviction only when the pool is truly dry
+//    (counted in pfm.inline_evictions).
+//  * batched_io — daemon writebacks and prefetch reads go through the
+//    per-pack request queues and dispatch in record-sorted rounds of up to
+//    io_batch_size, amortizing the seek: the first record of a round pays
+//    the full latency, coalesced neighbors only kDiskBatchedTransfer.
+//  * readahead — a forward-sequential fault pattern per segment posts reads
+//    for the next readahead_depth pages through the async path; prefetched
+//    frames come only from the free pool above the low watermark, so
+//    anticipation can never force the inline eviction it exists to avoid.
+struct PagingPipeline {
+  bool precleaning = false;
+  uint32_t low_watermark = 8;
+  uint32_t high_watermark = 24;
+  bool batched_io = false;
+  uint32_t io_batch_size = 8;
+  bool readahead = false;
+  uint32_t readahead_depth = 8;
+
+  static PagingPipeline Full() {
+    PagingPipeline p;
+    p.precleaning = true;
+    p.batched_io = true;
+    p.readahead = true;
+    return p;
+  }
+};
+
 class PageFrameManager {
  public:
   PageFrameManager(KernelContext* ctx, CoreSegmentManager* core_segs, QuotaCellManager* quota,
@@ -62,6 +96,8 @@ class PageFrameManager {
   // identifies (a read can no longer cause an accounting write) at the price
   // of charging for zero pages.
   void set_retain_zero_records(bool retain) { retain_zero_records_ = retain; }
+  void set_pipeline(const PagingPipeline& pipeline) { pipeline_ = pipeline; }
+  const PagingPipeline& pipeline() const { return pipeline_; }
 
   // Services a missing-page exception for `page` of the segment whose home is
   // (pack, vtoc).  `seg_ec` is the segment's page-arrival eventcount;
@@ -91,7 +127,9 @@ class PageFrameManager {
   bool PageIoDaemonStep();
 
   // The page-writer daemon body: cleans up to `max_writes` modified resident
-  // pages so that replacement finds clean victims.  Runs at low priority
+  // pages so that replacement finds clean victims.  With precleaning on it
+  // first replenishes the free pool to the high watermark by running the
+  // clock and releasing victims ahead of demand.  Runs at low priority
   // (idle time); returns true if work was done.
   bool PageWriterStep(size_t max_writes);
 
@@ -115,6 +153,11 @@ class PageFrameManager {
     VtocIndex vtoc{};
     QuotaCellId cell{};
     EventcountId seg_ec{};
+    bool prefetched = false;  // arrived by readahead, not yet known referenced
+    // A prefetched page lands with used=false (the scan has not reached it),
+    // which would make it the clock's first choice; this grants it one full
+    // sweep of protection before it becomes evictable as waste.
+    bool prefetch_grace = false;
   };
 
   struct Completion {
@@ -124,8 +167,23 @@ class PageFrameManager {
 
   // Obtains a frame, evicting via the clock algorithm if necessary.
   Result<FrameIndex> AcquireFrame();
-  // Writes back (if needed) and releases `frame`; runs zero detection.
-  Status CleanAndRelease(FrameIndex frame);
+  // One full second-chance pass: returns the victim slot, or UINT32_MAX when
+  // nothing is evictable.  Shared by the fault path and the pre-cleaner so
+  // replacement order is one policy regardless of who runs it.
+  uint32_t ClockSelectVictim();
+  // Writes back (if needed) and releases `frame`; runs zero detection.  With
+  // `queue_writeback` the write is staged on the pack's request queue (data
+  // copied now, latency charged at dispatch) instead of paid inline.
+  Status CleanAndRelease(FrameIndex frame, bool queue_writeback = false);
+  // Pre-cleaning: refills the free list to the high watermark.
+  bool ReplenishFreePool();
+  // Sequential-readahead policy, run after each serviced demand fault.
+  void MaybeReadahead(PageTable* pt, uint32_t page, PackId pack, VtocIndex vtoc,
+                      QuotaCellId cell, EventcountId seg_ec);
+  // Dispatches one round of `pack`'s request queue and completes any posted
+  // reads; returns the number of requests dispatched.
+  size_t DispatchPackQueue(PackId pack);
+  void CompletePostedRead(FrameIndex frame);
   FrameInfo& info(FrameIndex frame) { return frames_[frame.value - first_frame_]; }
 
   KernelContext* ctx_;
@@ -147,6 +205,12 @@ class PageFrameManager {
   MetricId id_io_completions_;
   MetricId id_pages_added_;
   MetricId id_daemon_writes_;
+  MetricId id_inline_evictions_;
+  MetricId id_precleaned_frames_;
+  MetricId id_queued_writebacks_;
+  MetricId id_prefetch_issued_;
+  MetricId id_prefetch_hits_;
+  MetricId id_prefetch_waste_;
 
   uint32_t first_frame_ = 0;
   uint32_t frame_limit_ = 0;
@@ -155,6 +219,7 @@ class PageFrameManager {
   uint32_t clock_hand_ = 0;
   bool async_ = false;
   bool retain_zero_records_ = false;
+  PagingPipeline pipeline_;
   uint64_t pending_reads_ = 0;
   std::deque<Completion> completions_;
 };

@@ -135,6 +135,25 @@ bool VirtualProcessorManager::RunKernelTasks() {
   return any_work;
 }
 
+bool VirtualProcessorManager::RunKernelTask(std::string_view name) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  for (uint16_t i = 0; i < vps_.size(); ++i) {
+    Vp& v = vps_[i];
+    if (!v.kernel_bound || v.name != name || v.state != VpState::kReady) {
+      continue;
+    }
+    v.state = VpState::kRunning;
+    ctx_->cost.Charge(CodeStyle::kStructured, Costs::kVpSwitch);
+    const bool did_work = v.task();
+    if (v.state == VpState::kRunning) {
+      v.state = VpState::kReady;
+    }
+    StoreState(VpId(i));
+    return did_work;
+  }
+  return false;
+}
+
 VpState VirtualProcessorManager::state(VpId vp) const { return vps_[vp.value].state; }
 
 const std::string& VirtualProcessorManager::task_name(VpId vp) const {

@@ -19,6 +19,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/kernel/core_segment.h"
@@ -64,6 +65,11 @@ class VirtualProcessorManager {
 
   // Runs each ready kernel-task vp once; true if any task reported work.
   bool RunKernelTasks();
+
+  // Runs one bound kernel task by name (benches and tests pump a single
+  // daemon without a full scheduler pass); true if it reported work, false
+  // when idle or no such task is bound.
+  bool RunKernelTask(std::string_view name);
 
   VpState state(VpId vp) const;
   const std::string& task_name(VpId vp) const;

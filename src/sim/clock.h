@@ -73,6 +73,11 @@ struct Costs {
   static constexpr Cycles kVpSwitch = 60;            // virtual processor dispatch
   static constexpr Cycles kDiskReadLatency = 30000;  // one record transfer
   static constexpr Cycles kDiskWriteLatency = 30000;
+  // Batched I/O (the anticipatory paging pipeline): a dispatch round sorts
+  // queued requests by record index and sweeps the arm once, so only the
+  // first record pays the full seek+rotation latency; every further record
+  // coalesced into the same sweep pays just its transfer time.
+  static constexpr Cycles kDiskBatchedTransfer = 3000;
   static constexpr Cycles kPageScanPerWord = 1;      // zero-detection sweep
 };
 

@@ -136,6 +136,186 @@ TEST(PageFrame, SequentialSweepLargerThanMemoryMakesProgress) {
   EXPECT_TRUE(fx.kernel.AuditIntegrity().empty());
 }
 
+// ---- Anticipatory paging pipeline ----
+
+// A user-visible snapshot of one pipelined run: every value the workload
+// read, plus the post-shutdown on-disk state (per-VTOC logical page contents
+// and flushed quota counts — logical, not record indices, because zero-page
+// reclaim and reallocation may legally renumber records).
+struct PipelineObservation {
+  std::vector<uint64_t> reads;
+  // One line per (pack, vtoc, page): "uid:page=word0" or "uid:page=zero".
+  std::vector<std::string> disk;
+  std::vector<std::string> quota;
+  uint64_t free_records = 0;
+};
+
+// The same pressured workload for every knob setting: fill 64 pages (48-frame
+// machine), punch a run of zero pages, then sequential and scattered read
+// passes with the page-writer pumped as idle time.
+PipelineObservation RunPipelineWorkload(const PagingPipeline& pipeline) {
+  KernelConfig config;
+  config.memory_frames = 48;
+  config.paging_pipeline = pipeline;
+  KernelFixture fx{config};
+  EXPECT_TRUE(fx.boot_status.ok());
+  const Segno segno = fx.MustCreate(">eq>a");
+  KernelGates& gates = fx.kernel.gates();
+  PipelineObservation obs;
+  uint32_t refs = 0;
+  auto touch = [&](uint32_t page) {
+    auto value = gates.Read(*fx.ctx, segno, page * kPageWords);
+    EXPECT_TRUE(value.ok()) << page;
+    obs.reads.push_back(value.ok() ? *value : UINT64_MAX);
+    if (++refs % 4 == 0) {
+      (void)fx.kernel.vprocs().RunKernelTask("page_writer");
+    }
+  };
+  for (uint32_t p = 0; p < 64; ++p) {
+    EXPECT_TRUE(gates.Write(*fx.ctx, segno, p * kPageWords, p + 1).ok()) << p;
+  }
+  for (uint32_t p = 40; p < 48; ++p) {  // these become zero pages at eviction
+    EXPECT_TRUE(gates.Write(*fx.ctx, segno, p * kPageWords, 0).ok()) << p;
+  }
+  for (uint32_t round = 0; round < 2; ++round) {
+    for (uint32_t p = 0; p < 64; ++p) {
+      touch(p);
+    }
+  }
+  for (uint32_t i = 0, p = 0; i < 64; ++i, p = (p + 29) % 64) {
+    touch(p);
+  }
+  EXPECT_TRUE(fx.kernel.AuditIntegrity().empty());
+  EXPECT_TRUE(fx.kernel.Shutdown().ok());
+  // On-disk state after an orderly shutdown.
+  std::vector<Word> buf(kPageWords);
+  for (uint16_t p = 0; p < fx.kernel.config().pack_count; ++p) {
+    const DiskPack* pack = fx.kernel.ctx().volumes.pack(PackId(p));
+    obs.free_records += pack->free_records();
+    for (uint32_t v = 0; v < pack->vtoc_slots(); ++v) {
+      const VtocEntry* entry = pack->GetVtoc(VtocIndex(v));
+      if (entry == nullptr) {
+        continue;
+      }
+      const std::string uid = std::to_string(entry->uid.value);
+      for (uint32_t page = 0; page < entry->file_map.size(); ++page) {
+        const FileMapEntry& fm = entry->file_map[page];
+        if (fm.zero) {
+          obs.disk.push_back(uid + ":" + std::to_string(page) + "=zero");
+        } else if (fm.allocated) {
+          pack->CopyRecord(fm.record, std::span<Word>(buf));
+          obs.disk.push_back(uid + ":" + std::to_string(page) + "=" +
+                             std::to_string(buf[0]));
+        }
+      }
+      if (entry->quota.present) {
+        obs.quota.push_back(uid + "=" + std::to_string(entry->quota.count) + "/" +
+                            std::to_string(entry->quota.limit));
+      }
+    }
+  }
+  return obs;
+}
+
+TEST(PagingPipeline, EveryKnobCombinationIsObservationallyEquivalent) {
+  const PipelineObservation baseline = RunPipelineWorkload(PagingPipeline{});
+  ASSERT_EQ(baseline.reads.size(), 64u * 3);
+  for (int mask = 1; mask < 8; ++mask) {
+    PagingPipeline pp;
+    pp.precleaning = (mask & 1) != 0;
+    pp.batched_io = (mask & 2) != 0;
+    pp.readahead = (mask & 4) != 0;
+    const PipelineObservation obs = RunPipelineWorkload(pp);
+    EXPECT_EQ(obs.reads, baseline.reads) << "mask " << mask;
+    EXPECT_EQ(obs.disk, baseline.disk) << "mask " << mask;
+    EXPECT_EQ(obs.quota, baseline.quota) << "mask " << mask;
+    EXPECT_EQ(obs.free_records, baseline.free_records) << "mask " << mask;
+  }
+}
+
+TEST(PagingPipeline, PrecleaningKeepsTheFaultPathOutOfEvictions) {
+  PagingPipeline pp;
+  pp.precleaning = true;
+  KernelConfig config;
+  config.memory_frames = 48;
+  config.paging_pipeline = pp;
+  KernelFixture fx{config};
+  ASSERT_TRUE(fx.boot_status.ok());
+  const Segno segno = fx.MustCreate(">wm>a");
+  KernelGates& gates = fx.kernel.gates();
+  for (uint32_t p = 0; p < 64; ++p) {
+    ASSERT_TRUE(gates.Write(*fx.ctx, segno, p * kPageWords, p + 1).ok());
+  }
+  PageFrameManager& pfm = fx.kernel.page_frames();
+  // The fill above ran without idle time; count from here, where the daemon
+  // gets its pumps.
+  const uint64_t inline0 = fx.kernel.metrics().Get("pfm.inline_evictions");
+  const uint64_t evict0 = fx.kernel.metrics().Get("pfm.evictions");
+  const uint64_t precleaned0 = fx.kernel.metrics().Get("pfm.precleaned_frames");
+  (void)fx.kernel.vprocs().RunKernelTask("page_writer");  // prime the pool
+  bool replenished_once = false;
+  uint32_t refs = 0;
+  for (uint32_t round = 0; round < 3; ++round) {
+    for (uint32_t p = 0; p < 64; ++p) {
+      ASSERT_TRUE(gates.Read(*fx.ctx, segno, p * kPageWords).ok());
+      if (++refs % 4 == 0) {
+        const bool was_dry = pfm.free_frames() < pp.low_watermark;
+        (void)fx.kernel.vprocs().RunKernelTask("page_writer");
+        // Watermark invariant: a pump that found the pool below the low
+        // watermark leaves it at the high watermark (plenty is evictable
+        // here), and never overshoots it.
+        if (was_dry) {
+          EXPECT_EQ(pfm.free_frames(), pp.high_watermark);
+          replenished_once = true;
+        }
+        EXPECT_GE(pfm.free_frames(), pp.low_watermark);
+      }
+    }
+  }
+  EXPECT_TRUE(replenished_once);
+  // Pumped often enough, demand never finds the pool dry: zero inline
+  // evictions, all replacement moved to the daemon.
+  EXPECT_EQ(fx.kernel.metrics().Get("pfm.inline_evictions") - inline0, 0u);
+  EXPECT_GT(fx.kernel.metrics().Get("pfm.precleaned_frames") - precleaned0, 0u);
+  EXPECT_EQ(fx.kernel.metrics().Get("pfm.evictions") - evict0,
+            fx.kernel.metrics().Get("pfm.precleaned_frames") - precleaned0);
+}
+
+TEST(PagingPipeline, PrefetchAccountingBalances) {
+  KernelConfig config;
+  config.memory_frames = 48;
+  config.paging_pipeline = PagingPipeline::Full();
+  KernelFixture fx{config};
+  ASSERT_TRUE(fx.boot_status.ok());
+  const Segno segno = fx.MustCreate(">pf>a");
+  KernelGates& gates = fx.kernel.gates();
+  for (uint32_t p = 0; p < 64; ++p) {
+    ASSERT_TRUE(gates.Write(*fx.ctx, segno, p * kPageWords, p + 1).ok());
+  }
+  uint32_t refs = 0;
+  for (uint32_t round = 0; round < 3; ++round) {
+    for (uint32_t p = 0; p < 64; ++p) {
+      ASSERT_TRUE(gates.Read(*fx.ctx, segno, p * kPageWords).ok());
+      if (++refs % 4 == 0) {
+        (void)fx.kernel.vprocs().RunKernelTask("page_writer");
+      }
+    }
+  }
+  Metrics& m = fx.kernel.metrics();
+  EXPECT_GT(m.Get("pfm.prefetch_issued"), 0u);
+  EXPECT_GT(m.Get("pfm.prefetch_hits"), 0u);
+  // The sequential scan consumes what it anticipates: every prefetched page
+  // is referenced before the clock reclaims it.
+  EXPECT_EQ(m.Get("pfm.prefetch_waste"), 0u);
+  // Fault suppression is the point: far fewer demand faults than touches.
+  EXPECT_LT(m.Get("pfm.faults_serviced"), uint64_t{3 * 64});
+  // Deactivating everything forces a final verdict on every prefetched frame:
+  // the books must balance exactly.
+  ASSERT_TRUE(fx.kernel.Shutdown().ok());
+  EXPECT_EQ(m.Get("pfm.prefetch_issued"),
+            m.Get("pfm.prefetch_hits") + m.Get("pfm.prefetch_waste"));
+}
+
 TEST(KnownSegment, InitiateAssignsDistinctSegnosPerProcess) {
   KernelFixture fx;
   ASSERT_TRUE(fx.boot_status.ok());
