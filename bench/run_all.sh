@@ -4,10 +4,13 @@
 # a single JSON-lines file.
 #
 # Usage: bench/run_all.sh [build-dir] [output-file]
+#
+# The default output name derives from the PR being collected: set PR=<n> in
+# the environment (or pass an explicit output file) — the file is BENCH_pr<n>.json.
 set -u
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_pr2.json}"
+OUT="${2:-BENCH_pr${PR:-3}.json}"
 BENCH_DIR="${BUILD_DIR}/bench"
 
 if [ ! -d "${BENCH_DIR}" ]; then

@@ -1,5 +1,6 @@
 #include "src/baseline/supervisor.h"
 
+#include <algorithm>
 #include <cassert>
 #include <sstream>
 
@@ -20,6 +21,12 @@ MonolithicSupervisor::MonolithicSupervisor(const BaselineConfig& config)
     : config_(config),
       rng_(config.seed),
       assoc_(config.associative_entries),
+      interleave_(config.cpu_count, &metrics_),
+      // Each extra processor is another writer that can alter the translation
+      // tables between a fault and capture of the global lock.
+      effective_conflict_rate_(std::min(
+          1.0, config.retranslate_conflict_rate *
+                   (config.cpu_count > 1 ? config.cpu_count - 1 : 1))),
       id_path_components_(metrics_.Intern("baseline.path_components")),
       id_segments_created_(metrics_.Intern("baseline.segments_created")),
       id_deactivation_blocked_by_hierarchy_(
@@ -43,7 +50,9 @@ MonolithicSupervisor::MonolithicSupervisor(const BaselineConfig& config)
       id_links_snapped_(metrics_.Intern("baseline.links_snapped")),
       id_assoc_hits_(metrics_.Intern("baseline.assoc_hits")),
       id_assoc_misses_(metrics_.Intern("baseline.assoc_misses")),
-      id_assoc_flushes_(metrics_.Intern("baseline.assoc_flushes")) {
+      id_assoc_flushes_(metrics_.Intern("baseline.assoc_flushes")),
+      id_lock_spin_cycles_(metrics_.Intern("baseline.lock_spin_cycles")),
+      id_lock_contended_(metrics_.Intern("baseline.lock_contended")) {
   m_disk_ = tracker_.Register(kDiskControl);
   m_dir_ = tracker_.Register(kDirectoryControl);
   m_as_ = tracker_.Register(kAddressSpaceControl);
@@ -354,12 +363,43 @@ Status MonolithicSupervisor::Deactivate(uint32_t slot) {
 // ---------------------------------------------------------------------------
 
 void MonolithicSupervisor::AcquireGlobalLock() {
+  // If the lock was last freed at a virtual time this CPU has not reached
+  // yet, the CPU busy-waits the difference away — real cycles, charged.
+  // Structurally zero with one CPU (local time is globally monotone).
+  const Cycles spin = global_lock_.Acquire(LocalNow());
+  if (spin > 0) {
+    cost_.Charge(CodeStyle::kOptimized, spin);
+    metrics_.Inc(id_lock_spin_cycles_, spin);
+    metrics_.Inc(id_lock_contended_);
+  }
   cost_.Charge(CodeStyle::kOptimized, kGlobalLockCost);
   global_lock_held_ = true;
   ++lock_acquisitions_;
 }
 
-void MonolithicSupervisor::ReleaseGlobalLock() { global_lock_held_ = false; }
+void MonolithicSupervisor::ReleaseGlobalLock() {
+  global_lock_.Release(LocalNow());
+  global_lock_held_ = false;
+}
+
+void MonolithicSupervisor::SwitchCpu(uint16_t cpu) {
+  const Cycles elapsed = clock_.now() - cpu_epoch_;
+  if (elapsed > 0) {
+    interleave_.Accrue(current_cpu_, elapsed);
+  }
+  cpu_epoch_ = clock_.now();
+  current_cpu_ = cpu;
+}
+
+Cycles MonolithicSupervisor::Makespan() {
+  SwitchCpu(current_cpu_);  // fold in the tail of the running quantum
+  return interleave_.Makespan();
+}
+
+void MonolithicSupervisor::AlignCpus() {
+  SwitchCpu(current_cpu_);
+  interleave_.AlignAll();
+}
 
 Result<FrameIndex> MonolithicSupervisor::AcquireFrame() {
   if (!free_list_.empty()) {
@@ -556,7 +596,7 @@ Status MonolithicSupervisor::HandleMissingPage(uint32_t ast_index, uint32_t page
     CallTracker::Scope as_scope(&tracker_, m_as_);
     cost_.Charge(CodeStyle::kOptimized, kRetranslationCost);
     metrics_.Inc(id_retranslations_);
-    if (rng_.NextBool(config_.retranslate_conflict_rate)) {
+    if (rng_.NextBool(effective_conflict_rate_)) {
       // Another processor altered the tables; the descriptor is no longer
       // the one that faulted.  Drop the lock and let the reference retry.
       metrics_.Inc(id_retranslation_conflicts_);
@@ -740,6 +780,9 @@ Status MonolithicSupervisor::RunUntilQuiescent(uint64_t max_passes) {
         continue;
       }
       all_done = false;
+      // This quantum runs on the CPU whose local clock is furthest behind —
+      // the same deterministic interleaving the kernel scheduler uses.
+      SwitchCpu(interleave_.NextCpu());
       {
         CallTracker::Scope scope(&tracker_, m_proc_);
         cost_.Charge(CodeStyle::kOptimized, Costs::kProcessSwitch);

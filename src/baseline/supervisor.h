@@ -40,7 +40,9 @@
 #include "src/disk/pack.h"
 #include "src/hw/machine.h"
 #include "src/sim/clock.h"
+#include "src/sim/cpu_sched.h"
 #include "src/sim/metrics.h"
+#include "src/sync/spinlock.h"
 
 namespace mks {
 
@@ -59,6 +61,12 @@ struct BaselineConfig {
   // 6180's associative memory under the monolithic supervisor for comparison
   // with the kernel design.
   uint16_t associative_entries = 0;
+  // Simulated processors.  With more than one, process quanta interleave
+  // deterministically across the pool and every missing-page fault contends
+  // for the one global lock — each extra processor also raises the chance
+  // that the translation tables changed under a fault in flight (the
+  // retranslation conflict rate scales with cpu_count - 1).
+  uint16_t cpu_count = 1;
   uint64_t root_quota = 1u << 20;
   uint64_t seed = 1977;
 };
@@ -127,6 +135,16 @@ class MonolithicSupervisor {
   CallTracker& tracker() { return tracker_; }
   CostModel& cost() { return cost_; }
   uint64_t global_lock_acquisitions() const { return lock_acquisitions_; }
+  uint64_t global_lock_contended() const { return global_lock_.contended(); }
+  Cycles global_lock_spin_cycles() const { return global_lock_.total_spin(); }
+
+  // Simulated-parallel completion time across the pool (equals clock() time
+  // elapsed since construction when cpu_count is 1).
+  Cycles Makespan();
+  // Synchronization barrier: every CPU's local clock jumps to the furthest-
+  // ahead one.  Call before a measured region so single-CPU setup work does
+  // not skew the interleaving.
+  void AlignCpus();
 
  private:
   struct BAstEntry {
@@ -194,6 +212,16 @@ class MonolithicSupervisor {
   // -- process control --
   Status TouchStateSegment(BProcess& proc, int depth);
 
+  // -- the simulated CPU pool --
+  // The running CPU's local virtual time: its accrued quanta plus the global
+  // clock's progress since it last resumed.  Continuous and monotone per CPU,
+  // so with one CPU it equals the global clock and the lock never contends.
+  Cycles LocalNow() const {
+    return interleave_.local_now(current_cpu_) + (clock_.now() - cpu_epoch_);
+  }
+  // Accrues the outgoing CPU's elapsed work and resumes on `cpu`.
+  void SwitchCpu(uint16_t cpu);
+
   Status ReferenceInternal(SegmentUid uid, uint32_t offset, AccessMode mode, Word* out, Word in,
                            int depth);
 
@@ -206,6 +234,11 @@ class MonolithicSupervisor {
   // Keyed by (AST slot, page): the supervisor translates through AST slots,
   // so a slot reused for a different segment must be invalidated.
   AssociativeMemory assoc_;
+  CpuInterleave interleave_;
+  SimSpinLock global_lock_;
+  uint16_t current_cpu_ = 0;
+  Cycles cpu_epoch_ = 0;  // global-clock value when current_cpu_ last resumed
+  double effective_conflict_rate_ = 0;
   std::unique_ptr<PrimaryMemory> memory_;
   VolumeControl volumes_{&cost_, &metrics_};
   ModuleId m_disk_, m_dir_, m_as_, m_seg_, m_page_, m_proc_;
@@ -248,6 +281,8 @@ class MonolithicSupervisor {
   MetricId id_assoc_hits_;
   MetricId id_assoc_misses_;
   MetricId id_assoc_flushes_;
+  MetricId id_lock_spin_cycles_;
+  MetricId id_lock_contended_;
 
   bool global_lock_held_ = false;
   uint64_t lock_acquisitions_ = 0;

@@ -337,4 +337,53 @@ AccessResult Processor::Access(Segno segno, uint32_t offset, AccessMode mode, ui
   return result;
 }
 
+ProcessorPool::ProcessorPool(uint16_t cpu_count, HwFeatures features, CostModel* cost,
+                             Metrics* metrics) {
+  if (cpu_count == 0) {
+    cpu_count = 1;
+  }
+  cpus_.reserve(cpu_count);
+  for (uint16_t k = 0; k < cpu_count; ++k) {
+    cpus_.emplace_back(features, cost, metrics);
+  }
+}
+
+void ProcessorPool::ClearAssociative(Segno segno) {
+  for (Processor& p : cpus_) {
+    p.ClearAssociative(segno);
+  }
+}
+
+void ProcessorPool::InvalidateAssociative(const Ptw* ptw) {
+  for (Processor& p : cpus_) {
+    p.InvalidateAssociative(ptw);
+  }
+}
+
+void ProcessorPool::InvalidateAssociative(const PageTable* pt) {
+  for (Processor& p : cpus_) {
+    p.InvalidateAssociative(pt);
+  }
+}
+
+void ProcessorPool::FlushAssociative() {
+  for (Processor& p : cpus_) {
+    p.FlushAssociative();
+  }
+}
+
+void ProcessorPool::SetSystemDs(DescriptorSegment* ds) {
+  for (Processor& p : cpus_) {
+    p.set_system_ds(ds);
+  }
+}
+
+void ProcessorPool::DropUserDs(const DescriptorSegment* ds) {
+  for (Processor& p : cpus_) {
+    if (p.user_ds() == ds) {
+      p.set_user_ds(nullptr);
+    }
+  }
+}
+
 }  // namespace mks

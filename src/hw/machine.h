@@ -297,6 +297,47 @@ class Processor {
   MetricId id_missing_page_faults_;
 };
 
+// The machine's processor pool.  The 6180 was a multiprocessor; modelling the
+// pool at the hardware layer makes the per-processor state of the new design
+// (associative memory, the two descriptor-base registers, the wakeup-waiting
+// switch, the lock-address register) *actually* per-processor.  Host
+// execution stays single-threaded — the simulation loop interleaves the CPUs
+// deterministically — so the pool is a vector, not threads.
+//
+// All CPUs share one Metrics instance and intern the same hw.* counter names
+// (Intern is idempotent), so aggregate hardware counters are independent of
+// pool size.
+//
+// The broadcast invalidations exist because a descriptor mutation made while
+// running on one CPU (page eviction, deactivation, SDW disconnect) leaves
+// stale translations cached in *every other* CPU's associative memory; on the
+// real hardware this was the connect ("clear associative memory") signal sent
+// to all processors.
+class ProcessorPool {
+ public:
+  ProcessorPool(uint16_t cpu_count, HwFeatures features, CostModel* cost, Metrics* metrics);
+
+  uint16_t count() const { return static_cast<uint16_t>(cpus_.size()); }
+  Processor& cpu(uint16_t k) { return cpus_[k]; }
+  const Processor& cpu(uint16_t k) const { return cpus_[k]; }
+
+  // Broadcast forms of the Processor invalidation protocol: every CPU drops
+  // the affected translations.
+  void ClearAssociative(Segno segno);
+  void InvalidateAssociative(const Ptw* ptw);
+  void InvalidateAssociative(const PageTable* pt);
+  void FlushAssociative();
+
+  // Loads the system descriptor-base register of every CPU (boot).
+  void SetSystemDs(DescriptorSegment* ds);
+  // A dying address space's descriptor segment must not stay latched in any
+  // CPU's user DSBR.
+  void DropUserDs(const DescriptorSegment* ds);
+
+ private:
+  std::vector<Processor> cpus_;
+};
+
 }  // namespace mks
 
 #endif  // MKS_HW_MACHINE_H_

@@ -44,7 +44,7 @@ Status AddressSpaceManager::Init(uint16_t user_sdw_count) {
     sdw.ring_bracket = 0;  // kernel-only
     system_page_tables_.push_back(std::move(pt));
   }
-  ctx_->processor.set_system_ds(&system_ds_);
+  ctx_->cpus.SetSystemDs(&system_ds_);
   return Status::Ok();
 }
 
@@ -72,10 +72,8 @@ Status AddressSpaceManager::DestroySpace(ProcessId pid) {
       segs_->NoteDisconnect(it->second.ast_of[i]);
     }
   }
-  if (ctx_->processor.user_ds() == &it->second.ds) {
-    // The processor still points at the dying descriptor segment.
-    ctx_->processor.set_user_ds(nullptr);
-  }
+  // Any processor still pointing at the dying descriptor segment unbinds.
+  ctx_->cpus.DropUserDs(&it->second.ds);
   spaces_.erase(it);
   return Status::Ok();
 }
@@ -135,7 +133,7 @@ Status AddressSpaceManager::Disconnect(ProcessId pid, Segno segno) {
   space.ast_of[index] = kNoAst;
   // The segno may be reconnected to a different segment; no translation
   // cached under it may survive the disconnect.
-  ctx_->processor.ClearAssociative(segno);
+  ctx_->cpus.ClearAssociative(segno);
   return Status::Ok();
 }
 
@@ -153,7 +151,7 @@ uint32_t AddressSpaceManager::DisconnectEverywhere(SegmentUid uid) {
         segs_->NoteDisconnect(ast);
         space.ds.sdws[i] = Sdw{};
         space.ast_of[i] = kNoAst;
-        ctx_->processor.ClearAssociative(Segno(static_cast<uint16_t>(kSystemSegnoLimit + i)));
+        ctx_->cpus.ClearAssociative(Segno(static_cast<uint16_t>(kSystemSegnoLimit + i)));
         ++severed;
       }
     }

@@ -15,6 +15,7 @@
 #include "src/disk/pack.h"
 #include "src/hw/machine.h"
 #include "src/sim/clock.h"
+#include "src/sim/cpu_sched.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
 #include "src/sync/eventcount.h"
@@ -23,13 +24,14 @@ namespace mks {
 
 struct KernelContext {
   KernelContext(uint32_t memory_frames, HwFeatures features, double structured_factor,
-                uint64_t secret_seed)
+                uint64_t secret_seed, uint16_t cpu_count = 1)
       : cost(&clock),
         eventcounts(&metrics),
         monitor(&clock, &metrics),
         memory(memory_frames, &cost, &metrics),
         volumes(&cost, &metrics),
-        processor(features, &cost, &metrics),
+        cpus(cpu_count, features, &cost, &metrics),
+        smp(cpu_count, &metrics),
         secret(secret_seed) {
     cost.set_structured_factor(structured_factor);
   }
@@ -43,8 +45,15 @@ struct KernelContext {
   ReferenceMonitor monitor;
   PrimaryMemory memory;
   VolumeControl volumes;
-  Processor processor;  // service processor executing the current computation
-  uint64_t secret;      // per-boot secret keying Bratt mythical identifiers
+  ProcessorPool cpus;    // the machine's service processors
+  CpuInterleave smp;     // deterministic quantum interleaving + per-CPU accounting
+  uint16_t current_cpu = 0;  // CPU executing the current computation
+  uint64_t secret;       // per-boot secret keying Bratt mythical identifiers
+
+  // The processor the current computation runs on.  Code that handles the
+  // in-flight reference (fault dispatch, wakeup-waiting, DSBR binding) uses
+  // this; descriptor mutations use the broadcast forms on `cpus`.
+  Processor& cpu() { return cpus.cpu(current_cpu); }
 };
 
 // Canonical module names used in both the declared lattice and the runtime

@@ -165,9 +165,9 @@ Status KernelGates::Write(ProcContext& ctx, Segno segno, uint32_t offset, Word v
 Status KernelGates::Reference(ProcContext& ctx, Segno segno, uint32_t offset, AccessMode mode,
                               Word* out, Word in) {
   ctx.pending_wait = WaitSpec{};
-  spaces_->BindToProcessor(&ctx_->processor, ctx.pid);
+  spaces_->BindToProcessor(&ctx_->cpu(), ctx.pid);
   for (int iteration = 0; iteration < kMaxFaultIterations; ++iteration) {
-    const AccessResult access = ctx_->processor.Access(segno, offset, mode, ctx.subject.ring);
+    const AccessResult access = ctx_->cpu().Access(segno, offset, mode, ctx.subject.ring);
     if (access.ok) {
       if (mode == AccessMode::kRead) {
         *out = ctx_->memory.ReadWord(access.abs_addr);
@@ -212,7 +212,7 @@ Status KernelGates::Reference(ProcContext& ctx, Segno segno, uint32_t offset, Ac
       case FaultKind::kLockedDescriptor: {
         // Another processor's fault service holds the descriptor.  Arm the
         // wakeup-waiting switch and await the segment's page-arrival event.
-        ctx_->processor.ArmWakeupWaiting();
+        ctx_->cpu().ArmWakeupWaiting();
         const KstEntry* entry = ksm_->Lookup(ctx.pid, segno);
         if (entry == nullptr) {
           return Status(Code::kInvalidSegno, "locked descriptor on unknown segment");

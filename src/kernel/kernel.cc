@@ -5,7 +5,8 @@ namespace mks {
 Kernel::Kernel(const KernelConfig& config)
     : config_(config),
       ctx_(std::make_unique<KernelContext>(config.memory_frames, config.features,
-                                           config.structured_factor, config.secret)),
+                                           config.structured_factor, config.secret,
+                                           config.cpu_count)),
       id_shutdowns_(ctx_->metrics.Intern("kernel.shutdowns")) {
   core_segs_ = std::make_unique<CoreSegmentManager>(ctx_.get());
   vpm_ = std::make_unique<VirtualProcessorManager>(ctx_.get(), core_segs_.get());

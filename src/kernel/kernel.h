@@ -17,6 +17,9 @@ namespace mks {
 struct KernelConfig {
   // Machine shape.
   uint32_t memory_frames = 512;
+  // Simulated processors, interleaved deterministically at quantum
+  // granularity.  1 reproduces the uniprocessor behaviour exactly.
+  uint16_t cpu_count = 1;
   uint16_t vp_count = 8;
   uint16_t user_sdw_count = 128;
   uint32_t ast_slots = 64;

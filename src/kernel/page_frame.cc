@@ -161,7 +161,7 @@ Status PageFrameManager::CleanAndRelease(FrameIndex frame, bool queue_writeback)
   // The page's descriptor no longer resolves to a frame: any associative
   // memory entry pairing it with the old frame must go before the frame is
   // reused.
-  ctx_->processor.InvalidateAssociative(&ptw);
+  ctx_->cpus.InvalidateAssociative(&ptw);
   fi = FrameInfo{};
   free_list_.push_back(frame);
   return Status::Ok();

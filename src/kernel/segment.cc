@@ -122,7 +122,7 @@ Status SegmentManager::Deactivate(uint32_t slot) {
   }
   // The slot's page-table storage is about to describe a different segment;
   // no cached translation through it may survive.
-  ctx_->processor.InvalidateAssociative(&ast.page_table);
+  ctx_->cpus.InvalidateAssociative(&ast.page_table);
   for (uint32_t p = 0; p < ast.max_pages; ++p) {
     if (ast.page_table.ptws[p].in_core) {
       MKS_RETURN_IF_ERROR(

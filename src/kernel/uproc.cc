@@ -179,7 +179,10 @@ bool UserProcessManager::SchedulerPass() {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   bool did_work = false;
 
-  // Level-1 activity first: device completions, daemons.
+  // Level-1 activity first: device completions, daemons.  System tasks run
+  // on the bootload CPU, as on the real machine.
+  ctx_->current_cpu = 0;
+  const Cycles level1_start = ctx_->clock.now();
   ctx_->events.RunDue(ctx_->clock.now());
   if (vpm_->RunKernelTasks()) {
     did_work = true;
@@ -204,11 +207,27 @@ bool UserProcessManager::SchedulerPass() {
     }
   }
 
+  if (const Cycles level1 = ctx_->clock.now() - level1_start; level1 > 0) {
+    ctx_->smp.Accrue(0, level1);
+  }
+
   // Dispatch ready processes onto idle virtual processors and run a quantum.
   for (auto& [pid, proc] : procs_) {
     if (proc.state != ProcState::kReady) {
       continue;
     }
+    // Quantum interleaving: this dispatch runs on the CPU whose local clock
+    // is furthest behind, and everything it charges — the vp acquisition,
+    // the switch, the state swap-in, the ops, their fault services — accrues
+    // to that CPU.
+    const uint16_t cpu = ctx_->smp.NextCpu();
+    ctx_->current_cpu = cpu;
+    const Cycles dispatch_start = ctx_->clock.now();
+    auto accrue_quantum = [&] {
+      if (const Cycles d = ctx_->clock.now() - dispatch_start; d > 0) {
+        ctx_->smp.Accrue(cpu, d);
+      }
+    };
     auto vp = vpm_->AcquireIdleUserVp();
     if (!vp.ok()) {
       break;  // pool exhausted this pass
@@ -223,10 +242,12 @@ bool UserProcessManager::SchedulerPass() {
     Status in = SwapStateIn(proc);
     if (in.code() == Code::kBlocked) {
       Park(proc);
+      accrue_quantum();
       continue;
     }
     if (!in.ok()) {
       Finish(proc, ProcState::kAborted, in);
+      accrue_quantum();
       continue;
     }
 
@@ -252,6 +273,7 @@ bool UserProcessManager::SchedulerPass() {
     vpm_->AccrueBusy(vp_used, ctx_->clock.now() - start);
 
     if (proc.state != ProcState::kRunning) {
+      accrue_quantum();
       continue;  // aborted above
     }
     if (proc.pc >= proc.program.size()) {
@@ -266,6 +288,7 @@ bool UserProcessManager::SchedulerPass() {
       vpm_->ReleaseUserVp(proc.vp);
       proc.bound = false;
     }
+    accrue_quantum();
   }
   return did_work;
 }
@@ -281,10 +304,19 @@ Status UserProcessManager::RunUntilQuiescent(uint64_t max_passes) {
         // Every process is blocked on the device: the machine idles forward.
         const Cycles due = ctx_->events.next_due();
         if (due > ctx_->clock.now()) {
-          ctx_->metrics.Inc(id_idle_cycles_, due - ctx_->clock.now());
-          ctx_->clock.Advance(due - ctx_->clock.now());
+          const Cycles idle = due - ctx_->clock.now();
+          ctx_->metrics.Inc(id_idle_cycles_, idle);
+          ctx_->clock.Advance(idle);
+          // The whole pool idles forward together waiting on the device.
+          ctx_->smp.AdvanceAll(idle);
         }
+        // Completion handlers are level-1 work on the bootload CPU.
+        ctx_->current_cpu = 0;
+        const Cycles completion_start = ctx_->clock.now();
         ctx_->events.RunDue(ctx_->clock.now());
+        if (const Cycles d = ctx_->clock.now() - completion_start; d > 0) {
+          ctx_->smp.Accrue(0, d);
+        }
         continue;
       }
       if (AllDone()) {

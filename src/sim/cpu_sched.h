@@ -1,0 +1,107 @@
+// Deterministic quantum interleaving across a simulated CPU pool.
+//
+// Host execution is single-threaded: exactly one CPU runs at a time, and all
+// charged work lands on the one global Clock (which therefore remains the
+// *serialized* total, unchanged from the uniprocessor model).  Concurrency is
+// an accounting overlay: each CPU carries a local virtual clock, the
+// scheduler gives the next quantum to the CPU whose local clock is furthest
+// behind (lowest index on ties), and the global-clock delta of that quantum
+// is accrued to the chosen CPU.  The result is a fixed-quantum round
+// interleaving that is a function of the workload alone — no host threads, no
+// races, bit-identical across runs — while simulated time is genuinely
+// concurrent: the furthest-ahead local clock (`Makespan`) is the parallel
+// completion time, and two CPUs whose quanta overlap in virtual time really
+// do contend for locks and descriptors.
+//
+// Per-CPU counters are interned at construction (smp.cpuK.busy_cycles,
+// smp.cpuK.quanta); Accrue on the stepped path is handle-based only.
+#ifndef MKS_SIM_CPU_SCHED_H_
+#define MKS_SIM_CPU_SCHED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/metrics.h"
+
+namespace mks {
+
+class CpuInterleave {
+ public:
+  CpuInterleave(uint16_t cpu_count, Metrics* metrics) : metrics_(metrics) {
+    if (cpu_count == 0) {
+      cpu_count = 1;
+    }
+    cpus_.reserve(cpu_count);
+    for (uint16_t k = 0; k < cpu_count; ++k) {
+      const std::string prefix = "smp.cpu" + std::to_string(k);
+      cpus_.push_back(PerCpu{0, metrics->Intern(prefix + ".busy_cycles"),
+                             metrics->Intern(prefix + ".quanta")});
+    }
+  }
+
+  uint16_t count() const { return static_cast<uint16_t>(cpus_.size()); }
+
+  // The CPU whose local clock is furthest behind runs the next quantum.
+  uint16_t NextCpu() const {
+    uint16_t best = 0;
+    for (uint16_t k = 1; k < count(); ++k) {
+      if (cpus_[k].local < cpus_[best].local) {
+        best = k;
+      }
+    }
+    return best;
+  }
+
+  // Charges one quantum's worth of busy cycles to `cpu`'s local clock.
+  void Accrue(uint16_t cpu, Cycles delta) {
+    cpus_[cpu].local += delta;
+    metrics_->Inc(cpus_[cpu].id_busy_cycles, delta);
+    metrics_->Inc(cpus_[cpu].id_quanta);
+  }
+
+  // Idles the whole pool forward together (every process blocked on a device
+  // completion: wall time passes on all CPUs, busy time on none).
+  void AdvanceAll(Cycles delta) {
+    for (PerCpu& c : cpus_) {
+      c.local += delta;
+    }
+  }
+
+  // Aligns every local clock to the furthest-ahead one: a synchronization
+  // barrier (e.g. the start of a measured region — earlier CPUs idle until
+  // the last one arrives).  Busy-cycle metrics are not affected.
+  void AlignAll() {
+    const Cycles m = Makespan();
+    for (PerCpu& c : cpus_) {
+      c.local = m;
+    }
+  }
+
+  Cycles local_now(uint16_t cpu) const { return cpus_[cpu].local; }
+
+  // Simulated-parallel completion time: the furthest-ahead local clock.
+  Cycles Makespan() const {
+    Cycles m = 0;
+    for (const PerCpu& c : cpus_) {
+      if (c.local > m) {
+        m = c.local;
+      }
+    }
+    return m;
+  }
+
+ private:
+  struct PerCpu {
+    Cycles local = 0;
+    MetricId id_busy_cycles = 0;
+    MetricId id_quanta = 0;
+  };
+  std::vector<PerCpu> cpus_;
+  Metrics* metrics_;
+};
+
+}  // namespace mks
+
+#endif  // MKS_SIM_CPU_SCHED_H_

@@ -1,0 +1,69 @@
+// A spin lock in simulated time, for the baseline's global page-table lock.
+//
+// The baseline supervisor has no descriptor lock bit, so colliding
+// processors busy-wait at one global lock.  Under deterministic interleaving
+// the CPUs never race on the host; contention is computed from their local
+// virtual clocks instead: the lock remembers the virtual time its last holder
+// released it (`free_at_`), and an acquirer whose local clock is still behind
+// that point burns the difference as spin.  The caller charges those cycles
+// to the cost model, so spinning is real simulated work — this is the
+// mechanism by which the global lock serializes the pool and the baseline's
+// speedup collapses as CPUs are added.
+//
+// With one CPU, local time is globally monotone, so an acquire can never
+// observe `free_at_` in its future and the spin is structurally zero — the
+// uniprocessor cost sequence is untouched.
+//
+// The kernel side deliberately has no counterpart: colliding references hit
+// the descriptor lock bit and park on the page's eventcount via the
+// lock-address register, giving the processor away instead of spinning.
+#ifndef MKS_SYNC_SPINLOCK_H_
+#define MKS_SYNC_SPINLOCK_H_
+
+#include <cstdint>
+
+#include "src/sim/clock.h"
+
+namespace mks {
+
+class SimSpinLock {
+ public:
+  // Acquires at local virtual time `local_now`; returns the spin cycles the
+  // acquiring CPU burns before the lock comes free (0 when uncontended).
+  Cycles Acquire(Cycles local_now) {
+    ++acquisitions_;
+    Cycles spin = 0;
+    if (free_at_ > local_now) {
+      spin = free_at_ - local_now;
+      ++contended_;
+      total_spin_ += spin;
+    }
+    held_ = true;
+    return spin;
+  }
+
+  // Releases at local virtual time `local_now` (as seen by the holder, after
+  // all work done under the lock).
+  void Release(Cycles local_now) {
+    held_ = false;
+    if (local_now > free_at_) {
+      free_at_ = local_now;
+    }
+  }
+
+  bool held() const { return held_; }
+  uint64_t acquisitions() const { return acquisitions_; }
+  uint64_t contended() const { return contended_; }
+  Cycles total_spin() const { return total_spin_; }
+
+ private:
+  Cycles free_at_ = 0;
+  bool held_ = false;
+  uint64_t acquisitions_ = 0;
+  uint64_t contended_ = 0;
+  Cycles total_spin_ = 0;
+};
+
+}  // namespace mks
+
+#endif  // MKS_SYNC_SPINLOCK_H_
