@@ -17,8 +17,12 @@
 // of total work grows with the pool, and makespan barely moves — the
 // lock-contention collapse the paper predicts.
 //
-// Usage: bench_perf_smp [--smoke]   (--smoke: one tiny iteration, for CI
-// under sanitizers)
+// Usage: bench_perf_smp [--smoke] [--trace]
+//   --smoke: one tiny iteration, for CI under sanitizers
+//   --trace: enable the virtual-time tracer in both supervisors; JSON lines
+//            gain fault-service p50/p95/p99 per cpu_count, and the 4-CPU
+//            kernel fault storm is exported as bench_perf_smp.trace.json
+//            (Chrome trace-event format, loadable in Perfetto)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -47,8 +51,30 @@ struct SmpResult {
   uint64_t lock_contended = 0;
   uint64_t lock_spin = 0;
   uint64_t locked_waits = 0;
+  // Fault-service latency percentiles (cycles); 0 when tracing is off.
+  uint64_t fault_p50 = 0;
+  uint64_t fault_p95 = 0;
+  uint64_t fault_p99 = 0;
   bool ok = false;
 };
+
+void CapturePercentiles(const Metrics& metrics, SmpResult* out) {
+  if (metrics.HistCount("fault.service_cycles") == 0) {
+    return;
+  }
+  out->fault_p50 = metrics.HistPercentile("fault.service_cycles", 0.50);
+  out->fault_p95 = metrics.HistPercentile("fault.service_cycles", 0.95);
+  out->fault_p99 = metrics.HistPercentile("fault.service_cycles", 0.99);
+}
+
+JsonLine& FieldPercentiles(JsonLine& line, const SmpResult& r) {
+  if (r.fault_p50 != 0 || r.fault_p95 != 0 || r.fault_p99 != 0) {
+    line.Field("fault_service_p50", r.fault_p50)
+        .Field("fault_service_p95", r.fault_p95)
+        .Field("fault_service_p99", r.fault_p99);
+  }
+  return line;
+}
 
 // Builds one process's op list.  The fault storm is a cyclic sweep of the
 // process's pages (working sets sized so the sum exceeds memory: every touch
@@ -75,12 +101,13 @@ std::vector<Op> BuildProgram(const Workload& w, MakeCompute compute, MakeRead re
   return program;
 }
 
-SmpResult RunBaseline(const Workload& w, uint16_t cpus) {
+SmpResult RunBaseline(const Workload& w, uint16_t cpus, bool trace) {
   SmpResult out;
   BaselineConfig config;
   config.memory_frames = w.mix_ops == 0 ? 64 : 256;
   config.records_per_pack = 8192;
   config.cpu_count = cpus;
+  config.trace.enabled = trace;
   MonolithicSupervisor sup{config};
   if (!sup.Boot().ok()) {
     return out;
@@ -113,17 +140,20 @@ SmpResult RunBaseline(const Workload& w, uint16_t cpus) {
   out.lock_acquisitions = sup.global_lock_acquisitions();
   out.lock_contended = sup.global_lock_contended();
   out.lock_spin = sup.global_lock_spin_cycles();
+  CapturePercentiles(sup.metrics(), &out);
   out.ok = true;
   return out;
 }
 
-SmpResult RunKernel(const Workload& w, uint16_t cpus) {
+SmpResult RunKernel(const Workload& w, uint16_t cpus, bool trace,
+                    const char* trace_path = nullptr) {
   SmpResult out;
   KernelConfig config;
   config.memory_frames = w.mix_ops == 0 ? 64 : 256;
   config.records_per_pack = 8192;
   config.cpu_count = cpus;
   config.vp_count = 6;
+  config.trace.enabled = trace;
   Kernel kernel{config};
   if (!kernel.Boot().ok()) {
     return out;
@@ -164,6 +194,14 @@ SmpResult RunKernel(const Workload& w, uint16_t cpus) {
   out.total = kernel.clock().now() - before;
   out.makespan = kernel.ctx().smp.Makespan() - m0;
   out.locked_waits = kernel.metrics().Get("gates.locked_descriptor_waits");
+  CapturePercentiles(kernel.metrics(), &out);
+  if (trace && trace_path != nullptr) {
+    if (!TraceExporter::WriteFile(kernel.ctx().trace, trace_path)) {
+      std::fprintf(stderr, "trace export failed: %s\n", trace_path);
+    } else {
+      std::printf("trace written: %s\n", trace_path);
+    }
+  }
   out.ok = true;
   return out;
 }
@@ -173,7 +211,15 @@ SmpResult RunKernel(const Workload& w, uint16_t cpus) {
 
 int main(int argc, char** argv) {
   using namespace mks;
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  bool smoke = false;
+  bool trace = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    }
+  }
   const std::vector<uint16_t> cpu_counts =
       smoke ? std::vector<uint16_t>{1, 4} : std::vector<uint16_t>{1, 2, 4, 8};
   const Workload workloads[] = {
@@ -191,8 +237,12 @@ int main(int argc, char** argv) {
     Cycles kernel_m1 = 0, baseline_m1 = 0;
     double baseline_prev_share = -1.0;
     for (uint16_t cpus : cpu_counts) {
-      const SmpResult b = RunBaseline(w, cpus);
-      const SmpResult k = RunKernel(w, cpus);
+      const SmpResult b = RunBaseline(w, cpus, trace);
+      // Export the Chrome trace of the most contended kernel configuration:
+      // the 4-CPU fault storm.
+      const bool want_export = trace && w.mix_ops == 0 && cpus == 4;
+      const SmpResult k =
+          RunKernel(w, cpus, trace, want_export ? "bench_perf_smp.trace.json" : nullptr);
       if (!b.ok || !k.ok) {
         std::fprintf(stderr, "run failed (%s, %u cpus)\n", w.name, cpus);
         return 1;
@@ -210,25 +260,27 @@ int main(int argc, char** argv) {
       std::printf("  kernel   %3u %12llu %12llu %9.2fx %14s %12s\n", cpus,
                   (unsigned long long)k.makespan, (unsigned long long)k.total, k_speedup, "-",
                   "-");
-      EmitJson(JsonLine("smp")
-                   .Field("workload", w.name)
-                   .Field("supervisor", "baseline")
-                   .Field("cpus", uint64_t{cpus})
-                   .Field("makespan", b.makespan)
-                   .Field("total_cycles", b.total)
-                   .Field("speedup_vs_1cpu", b_speedup)
-                   .Field("lock_acquisitions", b.lock_acquisitions)
-                   .Field("lock_contended", b.lock_contended)
-                   .Field("lock_spin_cycles", b.lock_spin)
-                   .Field("spin_share", spin_share));
-      EmitJson(JsonLine("smp")
-                   .Field("workload", w.name)
-                   .Field("supervisor", "kernel")
-                   .Field("cpus", uint64_t{cpus})
-                   .Field("makespan", k.makespan)
-                   .Field("total_cycles", k.total)
-                   .Field("speedup_vs_1cpu", k_speedup)
-                   .Field("locked_descriptor_waits", k.locked_waits));
+      JsonLine bline("smp");
+      bline.Field("workload", w.name)
+          .Field("supervisor", "baseline")
+          .Field("cpus", uint64_t{cpus})
+          .Field("makespan", b.makespan)
+          .Field("total_cycles", b.total)
+          .Field("speedup_vs_1cpu", b_speedup)
+          .Field("lock_acquisitions", b.lock_acquisitions)
+          .Field("lock_contended", b.lock_contended)
+          .Field("lock_spin_cycles", b.lock_spin)
+          .Field("spin_share", spin_share);
+      EmitJson(FieldPercentiles(bline, b));
+      JsonLine kline("smp");
+      kline.Field("workload", w.name)
+          .Field("supervisor", "kernel")
+          .Field("cpus", uint64_t{cpus})
+          .Field("makespan", k.makespan)
+          .Field("total_cycles", k.total)
+          .Field("speedup_vs_1cpu", k_speedup)
+          .Field("locked_descriptor_waits", k.locked_waits);
+      EmitJson(FieldPercentiles(kline, k));
       if (cpus == 4 && k.makespan >= kernel_m1) {
         kernel_scales = false;  // the acceptance shape: 4 CPUs beat 1
       }

@@ -55,6 +55,25 @@ class JsonLine {
 
 inline void EmitJson(const JsonLine& line) { std::printf("{%s}\n", line.body().c_str()); }
 
+// Appends p50/p95/p99 of one Metrics histogram as `<prefix>_p50` etc.  No-op
+// when the histogram has no observations (tracing off), so a bench can call
+// this unconditionally without perturbing its trace-off output.
+inline JsonLine& FieldHistogram(JsonLine& line, const Metrics& metrics,
+                                std::string_view hist, std::string_view prefix) {
+  if (metrics.HistCount(hist) == 0) {
+    return line;
+  }
+  std::string key(prefix);
+  const size_t base = key.size();
+  key += "_p50";
+  line.Field(key, metrics.HistPercentile(hist, 0.50));
+  key.replace(base, std::string::npos, "_p95");
+  line.Field(key, metrics.HistPercentile(hist, 0.95));
+  key.replace(base, std::string::npos, "_p99");
+  line.Field(key, metrics.HistPercentile(hist, 0.99));
+  return line;
+}
+
 inline Acl BenchWorldAcl() {
   Acl acl;
   acl.Add(AclEntry{"*", "*", AccessModes::RWE()});

@@ -6,11 +6,18 @@
 # Usage: bench/run_all.sh [build-dir] [output-file]
 #
 # The default output name derives from the PR being collected: set PR=<n> in
-# the environment (or pass an explicit output file) — the file is BENCH_pr<n>.json.
+# the environment (or pass an explicit output file) — the file is BENCH_pr<n>.json,
+# written at the repo root.  When PR is unset, it defaults to the latest
+# entry in CHANGES.md, so the script stays correct as the stack grows.
 set -u
 
-BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_pr${PR:-3}.json}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${ROOT}/build}"
+if [ -z "${PR:-}" ]; then
+  PR="$(sed -n 's/^- PR \([0-9][0-9]*\):.*/\1/p' "${ROOT}/CHANGES.md" | tail -1)"
+  PR="${PR:-0}"
+fi
+OUT="${2:-${ROOT}/BENCH_pr${PR}.json}"
 BENCH_DIR="${BUILD_DIR}/bench"
 
 if [ ! -d "${BENCH_DIR}" ]; then

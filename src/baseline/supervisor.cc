@@ -53,6 +53,11 @@ MonolithicSupervisor::MonolithicSupervisor(const BaselineConfig& config)
       id_assoc_flushes_(metrics_.Intern("baseline.assoc_flushes")),
       id_lock_spin_cycles_(metrics_.Intern("baseline.lock_spin_cycles")),
       id_lock_contended_(metrics_.Intern("baseline.lock_contended")) {
+  trace_.Enable(config.cpu_count, config.trace);
+  ev_lock_spin_ = trace_.InternEvent("lock.spin");
+  ev_fault_service_ = trace_.InternEvent("fault.page_service");
+  hist_lock_spin_ = metrics_.InternHistogram("lock.spin_cycles");
+  hist_fault_service_ = metrics_.InternHistogram("fault.service_cycles");
   m_disk_ = tracker_.Register(kDiskControl);
   m_dir_ = tracker_.Register(kDirectoryControl);
   m_as_ = tracker_.Register(kAddressSpaceControl);
@@ -366,11 +371,13 @@ void MonolithicSupervisor::AcquireGlobalLock() {
   // If the lock was last freed at a virtual time this CPU has not reached
   // yet, the CPU busy-waits the difference away — real cycles, charged.
   // Structurally zero with one CPU (local time is globally monotone).
+  const Cycles spin_begin = trace_.Begin();
   const Cycles spin = global_lock_.Acquire(LocalNow());
   if (spin > 0) {
     cost_.Charge(CodeStyle::kOptimized, spin);
     metrics_.Inc(id_lock_spin_cycles_, spin);
     metrics_.Inc(id_lock_contended_);
+    trace_.CloseSpan(spin_begin, ev_lock_spin_, current_cpu_, 0, hist_lock_spin_);
   }
   cost_.Charge(CodeStyle::kOptimized, kGlobalLockCost);
   global_lock_held_ = true;
@@ -389,6 +396,7 @@ void MonolithicSupervisor::SwitchCpu(uint16_t cpu) {
   }
   cpu_epoch_ = clock_.now();
   current_cpu_ = cpu;
+  trace_.SetCpu(cpu);
 }
 
 Cycles MonolithicSupervisor::Makespan() {
@@ -585,6 +593,8 @@ Status MonolithicSupervisor::HandleFullPack(uint32_t ast_index, uint32_t page) {
 
 Status MonolithicSupervisor::HandleMissingPage(uint32_t ast_index, uint32_t page) {
   CallTracker::Scope scope(&tracker_, m_page_);
+  Tracer::Span fault_span(&trace_, ev_fault_service_, ast_index, page,
+                          hist_fault_service_);
   cost_.Charge(CodeStyle::kOptimized, Costs::kFaultEntry);
   metrics_.Inc(id_page_faults_);
   AcquireGlobalLock();

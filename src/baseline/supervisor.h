@@ -42,6 +42,7 @@
 #include "src/sim/clock.h"
 #include "src/sim/cpu_sched.h"
 #include "src/sim/metrics.h"
+#include "src/sim/trace.h"
 #include "src/sync/spinlock.h"
 
 namespace mks {
@@ -69,6 +70,9 @@ struct BaselineConfig {
   uint16_t cpu_count = 1;
   uint64_t root_quota = 1u << 20;
   uint64_t seed = 1977;
+  // Virtual-time tracer (default off; same byte-identical contract as the
+  // kernel's KernelConfig::trace knob).
+  TraceConfig trace;
 };
 
 // Baseline module names (the six boxes of Figure 2).
@@ -132,6 +136,7 @@ class MonolithicSupervisor {
 
   Clock& clock() { return clock_; }
   Metrics& metrics() { return metrics_; }
+  Tracer& trace() { return trace_; }
   CallTracker& tracker() { return tracker_; }
   CostModel& cost() { return cost_; }
   uint64_t global_lock_acquisitions() const { return lock_acquisitions_; }
@@ -230,6 +235,7 @@ class MonolithicSupervisor {
   CostModel cost_{&clock_};
   Metrics metrics_;
   CallTracker tracker_;
+  Tracer trace_{&clock_, &metrics_};
   Rng rng_;
   // Keyed by (AST slot, page): the supervisor translates through AST slots,
   // so a slot reused for a different segment must be invalidated.
@@ -240,7 +246,7 @@ class MonolithicSupervisor {
   Cycles cpu_epoch_ = 0;  // global-clock value when current_cpu_ last resumed
   double effective_conflict_rate_ = 0;
   std::unique_ptr<PrimaryMemory> memory_;
-  VolumeControl volumes_{&cost_, &metrics_};
+  VolumeControl volumes_{&cost_, &metrics_, &trace_};
   ModuleId m_disk_, m_dir_, m_as_, m_seg_, m_page_, m_proc_;
 
   BNode root_;
@@ -283,6 +289,10 @@ class MonolithicSupervisor {
   MetricId id_assoc_flushes_;
   MetricId id_lock_spin_cycles_;
   MetricId id_lock_contended_;
+  TraceEventId ev_lock_spin_ = 0;
+  TraceEventId ev_fault_service_ = 0;
+  HistId hist_lock_spin_ = kNoHist;
+  HistId hist_fault_service_ = kNoHist;
 
   bool global_lock_held_ = false;
   uint64_t lock_acquisitions_ = 0;

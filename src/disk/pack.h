@@ -24,6 +24,7 @@
 #include "src/hw/machine.h"
 #include "src/sim/clock.h"
 #include "src/sim/metrics.h"
+#include "src/sim/trace.h"
 
 namespace mks {
 
@@ -56,7 +57,7 @@ struct VtocEntry {
 class DiskPack {
  public:
   DiskPack(PackId id, uint32_t record_count, uint32_t vtoc_slots, CostModel* cost,
-           Metrics* metrics);
+           Metrics* metrics, Tracer* trace = nullptr);
 
   PackId id() const { return id_; }
   uint32_t record_count() const { return record_count_; }
@@ -118,6 +119,8 @@ class DiskPack {
   std::vector<IoRequest> io_queue_;
   CostModel* cost_;
   Metrics* metrics_;
+  Tracer* trace_;
+  TraceEventId ev_batch_round_ = 0;
   MetricId id_pack_full_;
   MetricId id_records_allocated_;
   MetricId id_records_freed_;
@@ -131,7 +134,8 @@ class DiskPack {
 // The set of mounted packs plus placement policy.
 class VolumeControl {
  public:
-  VolumeControl(CostModel* cost, Metrics* metrics) : cost_(cost), metrics_(metrics) {}
+  VolumeControl(CostModel* cost, Metrics* metrics, Tracer* trace = nullptr)
+      : cost_(cost), metrics_(metrics), trace_(trace) {}
 
   PackId AddPack(uint32_t record_count, uint32_t vtoc_slots);
   DiskPack* pack(PackId id);
@@ -149,6 +153,7 @@ class VolumeControl {
   std::vector<DiskPack> packs_;
   CostModel* cost_;
   Metrics* metrics_;
+  Tracer* trace_ = nullptr;
 };
 
 }  // namespace mks

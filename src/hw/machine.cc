@@ -338,7 +338,8 @@ AccessResult Processor::Access(Segno segno, uint32_t offset, AccessMode mode, ui
 }
 
 ProcessorPool::ProcessorPool(uint16_t cpu_count, HwFeatures features, CostModel* cost,
-                             Metrics* metrics) {
+                             Metrics* metrics, Tracer* trace)
+    : trace_(trace) {
   if (cpu_count == 0) {
     cpu_count = 1;
   }
@@ -346,11 +347,18 @@ ProcessorPool::ProcessorPool(uint16_t cpu_count, HwFeatures features, CostModel*
   for (uint16_t k = 0; k < cpu_count; ++k) {
     cpus_.emplace_back(features, cost, metrics);
   }
+  if (trace_ != nullptr) {
+    ev_connect_ = trace_->InternEvent("hw.connect");
+  }
 }
 
 void ProcessorPool::ClearAssociative(Segno segno) {
   for (Processor& p : cpus_) {
     p.ClearAssociative(segno);
+  }
+  if (trace_ != nullptr) {
+    trace_->Instant(ev_connect_, segno.value,
+                    static_cast<uint32_t>(ConnectKind::kClearSegno));
   }
 }
 
@@ -358,17 +366,27 @@ void ProcessorPool::InvalidateAssociative(const Ptw* ptw) {
   for (Processor& p : cpus_) {
     p.InvalidateAssociative(ptw);
   }
+  if (trace_ != nullptr) {
+    trace_->Instant(ev_connect_, 0, static_cast<uint32_t>(ConnectKind::kInvalidatePtw));
+  }
 }
 
 void ProcessorPool::InvalidateAssociative(const PageTable* pt) {
   for (Processor& p : cpus_) {
     p.InvalidateAssociative(pt);
   }
+  if (trace_ != nullptr) {
+    trace_->Instant(ev_connect_, 0,
+                    static_cast<uint32_t>(ConnectKind::kInvalidatePageTable));
+  }
 }
 
 void ProcessorPool::FlushAssociative() {
   for (Processor& p : cpus_) {
     p.FlushAssociative();
+  }
+  if (trace_ != nullptr) {
+    trace_->Instant(ev_connect_, 0, static_cast<uint32_t>(ConnectKind::kFlush));
   }
 }
 

@@ -26,6 +26,7 @@
 #include "src/common/status.h"
 #include "src/sim/clock.h"
 #include "src/sim/metrics.h"
+#include "src/sim/trace.h"
 
 namespace mks {
 
@@ -315,7 +316,10 @@ class Processor {
 // to all processors.
 class ProcessorPool {
  public:
-  ProcessorPool(uint16_t cpu_count, HwFeatures features, CostModel* cost, Metrics* metrics);
+  // `trace`, when given, records each broadcast as an `hw.connect` instant
+  // (arg = broadcast kind) — invalidation storms show up in the trace lanes.
+  ProcessorPool(uint16_t cpu_count, HwFeatures features, CostModel* cost, Metrics* metrics,
+                Tracer* trace = nullptr);
 
   uint16_t count() const { return static_cast<uint16_t>(cpus_.size()); }
   Processor& cpu(uint16_t k) { return cpus_[k]; }
@@ -336,6 +340,16 @@ class ProcessorPool {
 
  private:
   std::vector<Processor> cpus_;
+  Tracer* trace_;
+  TraceEventId ev_connect_ = 0;
+};
+
+// `arg` values of the hw.connect trace instant — which broadcast form fired.
+enum class ConnectKind : uint32_t {
+  kClearSegno = 0,
+  kInvalidatePtw = 1,
+  kInvalidatePageTable = 2,
+  kFlush = 3,
 };
 
 }  // namespace mks

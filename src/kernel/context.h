@@ -18,6 +18,7 @@
 #include "src/sim/cpu_sched.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
+#include "src/sim/trace.h"
 #include "src/sync/eventcount.h"
 
 namespace mks {
@@ -26,11 +27,12 @@ struct KernelContext {
   KernelContext(uint32_t memory_frames, HwFeatures features, double structured_factor,
                 uint64_t secret_seed, uint16_t cpu_count = 1)
       : cost(&clock),
+        trace(&clock, &metrics),
         eventcounts(&metrics),
         monitor(&clock, &metrics),
         memory(memory_frames, &cost, &metrics),
-        volumes(&cost, &metrics),
-        cpus(cpu_count, features, &cost, &metrics),
+        volumes(&cost, &metrics, &trace),
+        cpus(cpu_count, features, &cost, &metrics, &trace),
         smp(cpu_count, &metrics),
         secret(secret_seed) {
     cost.set_structured_factor(structured_factor);
@@ -39,6 +41,7 @@ struct KernelContext {
   Clock clock;
   CostModel cost;
   Metrics metrics;
+  Tracer trace;  // virtual-time event rings; inert until Enable()d
   EventQueue events;
   CallTracker tracker;
   EventcountTable eventcounts;

@@ -17,11 +17,16 @@ KernelGates::KernelGates(KernelContext* ctx, VirtualProcessorManager* vpm,
       id_user_advances_(ctx->metrics.Intern("gates.user_advances")),
       id_user_awaits_(ctx->metrics.Intern("gates.user_awaits")),
       id_upward_signals_(ctx->metrics.Intern("gates.upward_signals")),
-      id_locked_descriptor_waits_(ctx->metrics.Intern("gates.locked_descriptor_waits")) {}
+      id_locked_descriptor_waits_(ctx->metrics.Intern("gates.locked_descriptor_waits")),
+      ev_gate_call_(ctx->trace.InternEvent("gate.call")),
+      ev_reference_(ctx->trace.InternEvent("gate.reference")),
+      ev_locked_park_(ctx->trace.InternEvent("fault.locked_park")),
+      hist_reference_(ctx->metrics.InternHistogram("gate.reference_cycles")) {}
 
 Result<EntryId> KernelGates::Search(ProcContext& ctx, EntryId dir, std::string_view name) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kSearch);
   return dirs_->Search(ctx.subject, dir, name);
 }
 
@@ -29,6 +34,7 @@ Result<EntryId> KernelGates::CreateSegment(ProcContext& ctx, EntryId dir, std::s
                                            Acl acl, Label label) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kCreateSegment);
   return dirs_->CreateSegmentEntry(ctx.subject, dir, std::move(name), std::move(acl), label);
 }
 
@@ -36,12 +42,14 @@ Result<EntryId> KernelGates::CreateDirectory(ProcContext& ctx, EntryId dir, std:
                                              Acl acl, Label label) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kCreateDirectory);
   return dirs_->CreateDirectoryEntry(ctx.subject, dir, std::move(name), std::move(acl), label);
 }
 
 Status KernelGates::Delete(ProcContext& ctx, EntryId dir, std::string_view name) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kDelete);
   return dirs_->DeleteEntry(ctx.subject, dir, name);
 }
 
@@ -49,42 +57,49 @@ Status KernelGates::Rename(ProcContext& ctx, EntryId dir, std::string_view old_n
                            std::string new_name) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kRename);
   return dirs_->RenameEntry(ctx.subject, dir, old_name, std::move(new_name));
 }
 
 Status KernelGates::SetAcl(ProcContext& ctx, EntryId dir, std::string_view name, Acl acl) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kSetAcl);
   return dirs_->SetAcl(ctx.subject, dir, name, std::move(acl));
 }
 
 Status KernelGates::ListNames(ProcContext& ctx, EntryId dir, std::vector<std::string>* out) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kListNames);
   return dirs_->ListNames(ctx.subject, dir, out);
 }
 
 Status KernelGates::SetQuota(ProcContext& ctx, EntryId dir, uint64_t limit) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kSetQuota);
   return dirs_->SetQuota(ctx.subject, dir, limit);
 }
 
 Status KernelGates::RemoveQuota(ProcContext& ctx, EntryId dir) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kRemoveQuota);
   return dirs_->RemoveQuota(ctx.subject, dir);
 }
 
 Result<QuotaStatus> KernelGates::GetQuota(ProcContext& ctx, EntryId dir) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kGetQuota);
   return dirs_->GetQuota(ctx.subject, dir);
 }
 
 Result<Segno> KernelGates::Initiate(ProcContext& ctx, EntryId target) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kInitiate);
   MKS_ASSIGN_OR_RETURN(EntryInfo info, dirs_->ResolveForInitiate(ctx.subject, target));
   // Ring bracket: a user segment is usable from the subject's ring.
   return ksm_->Initiate(ctx.pid, info.home, info.modes, ctx.subject.ring);
@@ -93,12 +108,14 @@ Result<Segno> KernelGates::Initiate(ProcContext& ctx, EntryId target) {
 Status KernelGates::Terminate(ProcContext& ctx, Segno segno) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kTerminate);
   return ksm_->Terminate(ctx.pid, segno);
 }
 
 Result<EventcountId> KernelGates::CreateEventcount(ProcContext& ctx, Label label) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kCreateEventcount);
   if (!label.Dominates(ctx.subject.label)) {
     return Status(Code::kNoAccess, "*-property: eventcount must dominate creator");
   }
@@ -113,6 +130,7 @@ Result<EventcountId> KernelGates::CreateEventcount(ProcContext& ctx, Label label
 Status KernelGates::AdvanceEventcount(ProcContext& ctx, EventcountId ec) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kAdvanceEventcount);
   if (ec.value >= user_eventcounts_.size() || !user_eventcounts_[ec.value].valid) {
     return Status(Code::kNotFound, "no such eventcount");
   }
@@ -126,6 +144,7 @@ Status KernelGates::AdvanceEventcount(ProcContext& ctx, EventcountId ec) {
 Result<uint64_t> KernelGates::ReadEventcount(ProcContext& ctx, EventcountId ec) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kReadEventcount);
   if (ec.value >= user_eventcounts_.size() || !user_eventcounts_[ec.value].valid) {
     return Status(Code::kNotFound, "no such eventcount");
   }
@@ -137,6 +156,7 @@ Result<uint64_t> KernelGates::ReadEventcount(ProcContext& ctx, EventcountId ec) 
 Status KernelGates::AwaitEventcount(ProcContext& ctx, EventcountId ec, uint64_t target) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
+  TraceGate(ctx, GateOp::kAwaitEventcount);
   if (ec.value >= user_eventcounts_.size() || !user_eventcounts_[ec.value].valid) {
     return Status(Code::kNotFound, "no such eventcount");
   }
@@ -164,6 +184,10 @@ Status KernelGates::Write(ProcContext& ctx, Segno segno, uint32_t offset, Word v
 
 Status KernelGates::Reference(ProcContext& ctx, Segno segno, uint32_t offset, AccessMode mode,
                               Word* out, Word in) {
+  // Span over the whole fault loop; the duration is the latency the user
+  // program observes for this reference (fast path: a few cycles).
+  Tracer::Span span(&ctx_->trace, ev_reference_, ctx.pid.value, segno.value,
+                    hist_reference_);
   ctx.pending_wait = WaitSpec{};
   spaces_->BindToProcessor(&ctx_->cpu(), ctx.pid);
   for (int iteration = 0; iteration < kMaxFaultIterations; ++iteration) {
@@ -225,6 +249,7 @@ Status KernelGates::Reference(ProcContext& ctx, Segno segno, uint32_t offset, Ac
         ctx.pending_wait.ec = ast->page_ec;
         ctx.pending_wait.target = ctx_->eventcounts.Read(ast->page_ec) + 1;
         ctx_->metrics.Inc(id_locked_descriptor_waits_);
+        ctx_->trace.Instant(ev_locked_park_, ctx.pid.value, segno.value);
         return Status(Code::kBlocked, "descriptor locked");
       }
       case FaultKind::kOutOfBounds:

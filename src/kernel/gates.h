@@ -34,6 +34,26 @@ struct ProcContext {
   WaitSpec pending_wait;
 };
 
+// `arg` values of the gate.call trace instant — which gate was crossed.
+enum class GateOp : uint32_t {
+  kSearch = 0,
+  kCreateSegment,
+  kCreateDirectory,
+  kDelete,
+  kRename,
+  kSetAcl,
+  kListNames,
+  kSetQuota,
+  kRemoveQuota,
+  kGetQuota,
+  kInitiate,
+  kTerminate,
+  kCreateEventcount,
+  kAdvanceEventcount,
+  kReadEventcount,
+  kAwaitEventcount,
+};
+
 class KernelGates {
  public:
   KernelGates(KernelContext* ctx, VirtualProcessorManager* vpm, PageFrameManager* pfm,
@@ -82,6 +102,11 @@ class KernelGates {
   Status Reference(ProcContext& ctx, Segno segno, uint32_t offset, AccessMode mode, Word* out,
                    Word in);
 
+  // Records a ring crossing as a gate.call instant (proc = pid, arg = op).
+  void TraceGate(const ProcContext& ctx, GateOp op) {
+    ctx_->trace.Instant(ev_gate_call_, ctx.pid.value, static_cast<uint32_t>(op));
+  }
+
   struct UserEventcount {
     bool valid = false;
     Label label;
@@ -100,6 +125,10 @@ class KernelGates {
   MetricId id_user_awaits_;
   MetricId id_upward_signals_;
   MetricId id_locked_descriptor_waits_;
+  TraceEventId ev_gate_call_;
+  TraceEventId ev_reference_;
+  TraceEventId ev_locked_park_;
+  HistId hist_reference_;
 };
 
 }  // namespace mks

@@ -8,6 +8,10 @@ Kernel::Kernel(const KernelConfig& config)
                                            config.structured_factor, config.secret,
                                            config.cpu_count)),
       id_shutdowns_(ctx_->metrics.Intern("kernel.shutdowns")) {
+  // Before any manager interns events or records: size the per-CPU rings and
+  // latch the knob.  With trace.enabled false the tracer stays inert and no
+  // instrumented path diverges from an untraced build.
+  ctx_->trace.Enable(config.cpu_count, config.trace);
   core_segs_ = std::make_unique<CoreSegmentManager>(ctx_.get());
   vpm_ = std::make_unique<VirtualProcessorManager>(ctx_.get(), core_segs_.get());
   quota_ = std::make_unique<QuotaCellManager>(ctx_.get(), core_segs_.get());

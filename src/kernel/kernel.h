@@ -36,6 +36,9 @@ struct KernelConfig {
   // Anticipatory paging pipeline (all knobs default off — demand paging with
   // inline evictions, exactly the pre-pipeline behaviour).
   PagingPipeline paging_pipeline;
+  // Virtual-time tracer (default off — with it off every instrumented path
+  // is byte-identical to an untraced build; same pattern as the pipeline).
+  TraceConfig trace;
   uint64_t root_quota = 1u << 20;
   Label root_label = Label::SystemLow();
   // Default: world-usable root, so examples/tests can build a hierarchy.

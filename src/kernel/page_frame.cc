@@ -27,7 +27,11 @@ PageFrameManager::PageFrameManager(KernelContext* ctx, CoreSegmentManager* core_
       id_queued_writebacks_(ctx->metrics.Intern("pfm.queued_writebacks")),
       id_prefetch_issued_(ctx->metrics.Intern("pfm.prefetch_issued")),
       id_prefetch_hits_(ctx->metrics.Intern("pfm.prefetch_hits")),
-      id_prefetch_waste_(ctx->metrics.Intern("pfm.prefetch_waste")) {}
+      id_prefetch_waste_(ctx->metrics.Intern("pfm.prefetch_waste")),
+      ev_fault_service_(ctx->trace.InternEvent("fault.page_service")),
+      ev_fault_posted_(ctx->trace.InternEvent("fault.page_posted")),
+      ev_io_complete_(ctx->trace.InternEvent("io.complete")),
+      hist_fault_service_(ctx->metrics.InternHistogram("fault.service_cycles")) {}
 
 Status PageFrameManager::Init() {
   CallTracker::Scope scope(&ctx_->tracker, self_);
@@ -172,6 +176,7 @@ Status PageFrameManager::ServiceMissingPage(PageTable* pt, uint32_t page, PackId
                                             EventcountId seg_ec, ProcessId initiator,
                                             WaitSpec* wait) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  const Cycles fault_begin = ctx_->trace.Begin();
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kFaultEntry);
   ctx_->metrics.Inc(id_faults_serviced_);
   Ptw& ptw = pt->ptws[page];
@@ -242,6 +247,8 @@ Status PageFrameManager::ServiceMissingPage(PageTable* pt, uint32_t page, PackId
     if (pipeline_.readahead) {
       MaybeReadahead(pt, page, pack, vtoc, cell, seg_ec);
     }
+    ctx_->trace.CloseSpan(fault_begin, ev_fault_service_, initiator.value, page,
+                          hist_fault_service_);
     return Status::Ok();
   }
 
@@ -254,6 +261,8 @@ Status PageFrameManager::ServiceMissingPage(PageTable* pt, uint32_t page, PackId
     if (pipeline_.readahead) {
       MaybeReadahead(pt, page, pack, vtoc, cell, seg_ec);
     }
+    ctx_->trace.CloseSpan(fault_begin, ev_fault_service_, initiator.value, page,
+                          hist_fault_service_);
     return Status::Ok();
   }
 
@@ -261,6 +270,8 @@ Status PageFrameManager::ServiceMissingPage(PageTable* pt, uint32_t page, PackId
   // tell the caller what to await.
   ptw.locked = true;
   fi.state = FrameState::kIoInProgress;
+  fi.posted_at = fault_begin;
+  ctx_->trace.Instant(ev_fault_posted_, initiator.value, page);
   ++pending_reads_;
   const RecordIndex record = fm.record;
   ctx_->events.Schedule(ctx_->clock.now() + Costs::kDiskReadLatency,
@@ -378,6 +389,7 @@ void PageFrameManager::CompletePostedRead(FrameIndex frame) {
   fi.state = FrameState::kInUse;
   vpm_->Advance(fi.seg_ec);
   ctx_->metrics.Inc(id_io_completions_);
+  ctx_->trace.Instant(ev_io_complete_, 0, fi.page);
 }
 
 bool PageFrameManager::PageIoDaemonStep() {
@@ -413,6 +425,11 @@ bool PageFrameManager::PageIoDaemonStep() {
           UpwardMessage{completion.initiator, /*code=*/1, /*payload=*/fi.page});
     }
     ctx_->metrics.Inc(id_io_completions_);
+    // Close the fault.page_service span opened when the read was posted: the
+    // histogram gets the full fault -> park -> I/O -> wakeup latency.
+    ctx_->trace.CloseSpan(fi.posted_at, ev_fault_service_, completion.initiator.value,
+                          fi.page, hist_fault_service_);
+    fi.posted_at = 0;
     did_work = true;
   }
   // Dispatch the per-pack request queues: prefetch reads and batched daemon

@@ -158,6 +158,10 @@ class PageFrameManager {
     // which would make it the clock's first choice; this grants it one full
     // sweep of protection before it becomes evictable as waste.
     bool prefetch_grace = false;
+    // Virtual time the demand fault posted this frame's read (async mode);
+    // the daemon closes the fault.page_service span from this stamp, so the
+    // histogram sees the full fault -> park -> I/O -> wakeup latency.
+    Cycles posted_at = 0;
   };
 
   struct Completion {
@@ -211,6 +215,11 @@ class PageFrameManager {
   MetricId id_prefetch_issued_;
   MetricId id_prefetch_hits_;
   MetricId id_prefetch_waste_;
+
+  TraceEventId ev_fault_service_;
+  TraceEventId ev_fault_posted_;
+  TraceEventId ev_io_complete_;
+  HistId hist_fault_service_;
 
   uint32_t first_frame_ = 0;
   uint32_t frame_limit_ = 0;

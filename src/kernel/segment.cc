@@ -15,7 +15,9 @@ SegmentManager::SegmentManager(KernelContext* ctx, CoreSegmentManager* core_segs
       id_activations_(ctx->metrics.Intern("seg.activations")),
       id_deactivations_(ctx->metrics.Intern("seg.deactivations")),
       id_growths_(ctx->metrics.Intern("seg.growths")),
-      id_relocations_(ctx->metrics.Intern("seg.relocations")) {}
+      id_relocations_(ctx->metrics.Intern("seg.relocations")),
+      ev_activate_(ctx->trace.InternEvent("seg.activate")),
+      ev_deactivate_(ctx->trace.InternEvent("seg.deactivate")) {}
 
 Status SegmentManager::Init(uint32_t ast_slots) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
@@ -97,6 +99,7 @@ Result<uint32_t> SegmentManager::Activate(SegmentUid uid, PackId pack, VtocIndex
   (void)core_segs_->WriteWord(ast_area_, slot, uid.value);
   by_uid_[uid] = slot;
   ctx_->metrics.Inc(id_activations_);
+  ctx_->trace.Instant(ev_activate_, slot, static_cast<uint32_t>(uid.value));
   return slot;
 }
 
@@ -135,6 +138,7 @@ Status SegmentManager::Deactivate(uint32_t slot) {
   ast = AstEntry{};
   ast.page_ec = ec;  // eventcounts are per-slot and reusable
   ctx_->metrics.Inc(id_deactivations_);
+  ctx_->trace.Instant(ev_deactivate_, slot, 0);
   return Status::Ok();
 }
 

@@ -111,6 +111,8 @@ class SegmentManager {
   MetricId id_deactivations_;
   MetricId id_growths_;
   MetricId id_relocations_;
+  TraceEventId ev_activate_;
+  TraceEventId ev_deactivate_;
 };
 
 }  // namespace mks

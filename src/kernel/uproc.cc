@@ -17,7 +17,12 @@ UserProcessManager::UserProcessManager(KernelContext* ctx, CoreSegmentManager* c
       ksm_(ksm),
       gates_(gates),
       id_processes_created_(ctx->metrics.Intern("uproc.processes_created")),
-      id_idle_cycles_(ctx->metrics.Intern("uproc.idle_cycles")) {}
+      id_idle_cycles_(ctx->metrics.Intern("uproc.idle_cycles")),
+      ev_quantum_(ctx->trace.InternEvent("uproc.quantum")),
+      ev_level1_(ctx->trace.InternEvent("uproc.level1")),
+      ev_park_(ctx->trace.InternEvent("uproc.park")),
+      ev_wake_(ctx->trace.InternEvent("uproc.wake")),
+      hist_quantum_(ctx->metrics.InternHistogram("uproc.quantum_cycles")) {}
 
 Status UserProcessManager::Init() {
   CallTracker::Scope scope(&ctx_->tracker, self_);
@@ -159,6 +164,7 @@ Status UserProcessManager::ExecOneOp(Process& proc) {
 void UserProcessManager::Park(Process& proc) {
   proc.state = ProcState::kBlocked;
   ++proc.stats.blocks;
+  ctx_->trace.Instant(ev_park_, proc.pid.value, 0);
   if (proc.bound) {
     SwapStateOut(proc);
     vpm_->ReleaseUserVp(proc.vp);
@@ -182,6 +188,7 @@ bool UserProcessManager::SchedulerPass() {
   // Level-1 activity first: device completions, daemons.  System tasks run
   // on the bootload CPU, as on the real machine.
   ctx_->current_cpu = 0;
+  ctx_->trace.SetCpu(0);
   const Cycles level1_start = ctx_->clock.now();
   ctx_->events.RunDue(ctx_->clock.now());
   if (vpm_->RunKernelTasks()) {
@@ -194,6 +201,7 @@ bool UserProcessManager::SchedulerPass() {
       auto it = procs_.find(msg->dest);
       if (it != procs_.end() && it->second.state == ProcState::kBlocked) {
         it->second.state = ProcState::kReady;
+        ctx_->trace.Instant(ev_wake_, it->second.pid.value, 1);
         did_work = true;
       }
     }
@@ -203,12 +211,14 @@ bool UserProcessManager::SchedulerPass() {
     if (proc.state == ProcState::kBlocked && proc.ctx.pending_wait.valid &&
         ctx_->eventcounts.Read(proc.ctx.pending_wait.ec) >= proc.ctx.pending_wait.target) {
       proc.state = ProcState::kReady;
+      ctx_->trace.Instant(ev_wake_, proc.pid.value, 0);
       did_work = true;
     }
   }
 
   if (const Cycles level1 = ctx_->clock.now() - level1_start; level1 > 0) {
     ctx_->smp.Accrue(0, level1);
+    ctx_->trace.CloseSpan(level1_start, ev_level1_, 0, 0);
   }
 
   // Dispatch ready processes onto idle virtual processors and run a quantum.
@@ -222,10 +232,13 @@ bool UserProcessManager::SchedulerPass() {
     // to that CPU.
     const uint16_t cpu = ctx_->smp.NextCpu();
     ctx_->current_cpu = cpu;
+    ctx_->trace.SetCpu(cpu);
     const Cycles dispatch_start = ctx_->clock.now();
     auto accrue_quantum = [&] {
       if (const Cycles d = ctx_->clock.now() - dispatch_start; d > 0) {
         ctx_->smp.Accrue(cpu, d);
+        ctx_->trace.CloseSpan(dispatch_start, ev_quantum_, pid.value, cpu,
+                              hist_quantum_);
       }
     };
     auto vp = vpm_->AcquireIdleUserVp();
@@ -312,6 +325,7 @@ Status UserProcessManager::RunUntilQuiescent(uint64_t max_passes) {
         }
         // Completion handlers are level-1 work on the bootload CPU.
         ctx_->current_cpu = 0;
+        ctx_->trace.SetCpu(0);
         const Cycles completion_start = ctx_->clock.now();
         ctx_->events.RunDue(ctx_->clock.now());
         if (const Cycles d = ctx_->clock.now() - completion_start; d > 0) {

@@ -122,6 +122,11 @@ class UserProcessManager {
   KernelGates* gates_;
   MetricId id_processes_created_;
   MetricId id_idle_cycles_;
+  TraceEventId ev_quantum_;
+  TraceEventId ev_level1_;
+  TraceEventId ev_park_;
+  TraceEventId ev_wake_;
+  HistId hist_quantum_;
   std::unique_ptr<RealMemoryQueue> queue_;
   std::unordered_map<ProcessId, Process> procs_;
   uint32_t next_pid_ = 1;

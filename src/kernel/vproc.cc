@@ -17,7 +17,10 @@ VirtualProcessorManager::VirtualProcessorManager(KernelContext* ctx,
       self_(ctx->tracker.Register(module_names::kVproc)),
       core_segs_(core_segs),
       id_pool_size_(ctx->metrics.Intern("vproc.pool_size")),
-      id_dispatches_(ctx->metrics.Intern("vproc.dispatches")) {}
+      id_dispatches_(ctx->metrics.Intern("vproc.dispatches")),
+      ev_ec_advance_(ctx->trace.InternEvent("ec.advance")),
+      ev_vp_dispatch_(ctx->trace.InternEvent("vp.dispatch")),
+      ev_kernel_task_(ctx->trace.InternEvent("vp.kernel_task")) {}
 
 Status VirtualProcessorManager::Init(uint16_t vp_count) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
@@ -83,6 +86,7 @@ Result<VpId> VirtualProcessorManager::AcquireIdleUserVp() {
       StoreState(VpId(i));
       ctx_->cost.Charge(CodeStyle::kStructured, Costs::kVpSwitch);
       ctx_->metrics.Inc(id_dispatches_);
+      ctx_->trace.Instant(ev_vp_dispatch_, i, 0);
       return VpId(i);
     }
   }
@@ -109,11 +113,14 @@ bool VirtualProcessorManager::Await(VpId vp, EventcountId ec, uint64_t target) {
 
 void VirtualProcessorManager::Advance(EventcountId ec) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  uint32_t woken = 0;
   for (VpId vp : ctx_->eventcounts.Advance(ec)) {
     Vp& v = vps_[vp.value];
     v.state = v.kernel_bound ? VpState::kReady : VpState::kIdle;
     StoreState(vp);
+    ++woken;
   }
+  ctx_->trace.Instant(ev_ec_advance_, ec.value, woken);
 }
 
 bool VirtualProcessorManager::RunKernelTasks() {
@@ -124,7 +131,9 @@ bool VirtualProcessorManager::RunKernelTasks() {
     if (v.kernel_bound && v.state == VpState::kReady) {
       v.state = VpState::kRunning;
       ctx_->cost.Charge(CodeStyle::kStructured, Costs::kVpSwitch);
+      const Cycles task_begin = ctx_->trace.Begin();
       const bool did_work = v.task();
+      ctx_->trace.CloseSpan(task_begin, ev_kernel_task_, i, did_work ? 1 : 0);
       any_work = any_work || did_work;
       if (v.state == VpState::kRunning) {
         v.state = VpState::kReady;
@@ -144,7 +153,9 @@ bool VirtualProcessorManager::RunKernelTask(std::string_view name) {
     }
     v.state = VpState::kRunning;
     ctx_->cost.Charge(CodeStyle::kStructured, Costs::kVpSwitch);
+    const Cycles task_begin = ctx_->trace.Begin();
     const bool did_work = v.task();
+    ctx_->trace.CloseSpan(task_begin, ev_kernel_task_, i, did_work ? 1 : 0);
     if (v.state == VpState::kRunning) {
       v.state = VpState::kReady;
     }

@@ -99,6 +99,9 @@ class VirtualProcessorManager {
   CoreSegmentManager* core_segs_;
   MetricId id_pool_size_;
   MetricId id_dispatches_;
+  TraceEventId ev_ec_advance_;
+  TraceEventId ev_vp_dispatch_;
+  TraceEventId ev_kernel_task_;
   CoreSegId state_seg_{};
   std::vector<Vp> vps_;
   uint16_t acquire_cursor_ = 0;  // rotate dispatch across the pool

@@ -1,0 +1,96 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+
+namespace mks {
+namespace {
+
+// Minimal JSON string escape for event names (ASCII identifiers in practice,
+// but keep the exporter honest).
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string TraceExporter::Export(const Tracer& tracer) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&out, &first] {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+  };
+  for (uint16_t cpu = 0; cpu < tracer.cpu_count(); ++cpu) {
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":0,\"tid\":";
+    AppendU64(&out, cpu);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"cpu";
+    AppendU64(&out, cpu);
+    out += "\"}}";
+  }
+  for (uint16_t cpu = 0; cpu < tracer.cpu_count(); ++cpu) {
+    for (const TraceRecord& rec : tracer.Snapshot(cpu)) {
+      comma();
+      if (rec.dur > 0) {
+        out += "{\"ph\":\"X\",\"pid\":0,\"tid\":";
+        AppendU64(&out, rec.cpu);
+        out += ",\"ts\":";
+        AppendU64(&out, rec.ts);
+        out += ",\"dur\":";
+        AppendU64(&out, rec.dur);
+      } else {
+        out += "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":";
+        AppendU64(&out, rec.cpu);
+        out += ",\"ts\":";
+        AppendU64(&out, rec.ts);
+      }
+      out += ",\"name\":\"";
+      AppendEscaped(&out, tracer.EventName(rec.event));
+      out += "\",\"args\":{\"proc\":";
+      AppendU64(&out, rec.proc);
+      out += ",\"arg\":";
+      AppendU64(&out, rec.arg);
+      out += "}}";
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+bool TraceExporter::WriteFile(const Tracer& tracer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = Export(tracer);
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace mks
