@@ -17,12 +17,17 @@
 // of total work grows with the pool, and makespan barely moves — the
 // lock-contention collapse the paper predicts.
 //
-// Usage: bench_perf_smp [--smoke] [--trace]
+// Usage: bench_perf_smp [--smoke] [--trace] [--ticket]
 //   --smoke: one tiny iteration, for CI under sanitizers
 //   --trace: enable the virtual-time tracer in both supervisors; JSON lines
 //            gain fault-service p50/p95/p99 per cpu_count, and the 4-CPU
 //            kernel fault storm is exported as bench_perf_smp.trace.json
 //            (Chrome trace-event format, loadable in Perfetto)
+//   --ticket: additionally run the baseline with the ticket-ordered global
+//            lock (extra base-tkt rows; the default rows are untouched).
+//            FIFO handoff adds a mandatory line transfer per contended
+//            release, so the collapse curve shifts up, not down — fairness
+//            does not buy back the serialization.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -50,6 +55,9 @@ struct SmpResult {
   uint64_t lock_acquisitions = 0;
   uint64_t lock_contended = 0;
   uint64_t lock_spin = 0;
+  uint64_t lock_handoffs = 0;
+  uint64_t lock_handoff_cycles = 0;
+  uint64_t lock_max_spin = 0;
   uint64_t locked_waits = 0;
   // Fault-service latency percentiles (cycles); 0 when tracing is off.
   uint64_t fault_p50 = 0;
@@ -101,13 +109,14 @@ std::vector<Op> BuildProgram(const Workload& w, MakeCompute compute, MakeRead re
   return program;
 }
 
-SmpResult RunBaseline(const Workload& w, uint16_t cpus, bool trace) {
+SmpResult RunBaseline(const Workload& w, uint16_t cpus, bool trace, bool ticket = false) {
   SmpResult out;
   BaselineConfig config;
   config.memory_frames = w.mix_ops == 0 ? 64 : 256;
   config.records_per_pack = 8192;
   config.cpu_count = cpus;
   config.trace.enabled = trace;
+  config.ticket_lock = ticket;
   MonolithicSupervisor sup{config};
   if (!sup.Boot().ok()) {
     return out;
@@ -140,6 +149,9 @@ SmpResult RunBaseline(const Workload& w, uint16_t cpus, bool trace) {
   out.lock_acquisitions = sup.global_lock_acquisitions();
   out.lock_contended = sup.global_lock_contended();
   out.lock_spin = sup.global_lock_spin_cycles();
+  out.lock_handoffs = sup.global_lock_handoffs();
+  out.lock_handoff_cycles = sup.global_lock_handoff_cycles();
+  out.lock_max_spin = sup.global_lock_max_spin();
   CapturePercentiles(sup.metrics(), &out);
   out.ok = true;
   return out;
@@ -213,11 +225,14 @@ int main(int argc, char** argv) {
   using namespace mks;
   bool smoke = false;
   bool trace = false;
+  bool ticket = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace = true;
+    } else if (std::strcmp(argv[i], "--ticket") == 0) {
+      ticket = true;
     }
   }
   const std::vector<uint16_t> cpu_counts =
@@ -234,7 +249,7 @@ int main(int argc, char** argv) {
   for (const Workload& w : workloads) {
     std::printf("%s:\n%6s %12s %12s %10s %14s %12s\n", w.name, "cpus", "makespan", "total",
                 "speedup", "lock spin", "spin share");
-    Cycles kernel_m1 = 0, baseline_m1 = 0;
+    Cycles kernel_m1 = 0, baseline_m1 = 0, ticket_m1 = 0;
     double baseline_prev_share = -1.0;
     for (uint16_t cpus : cpu_counts) {
       const SmpResult b = RunBaseline(w, cpus, trace);
@@ -281,6 +296,37 @@ int main(int argc, char** argv) {
           .Field("speedup_vs_1cpu", k_speedup)
           .Field("locked_descriptor_waits", k.locked_waits);
       EmitJson(FieldPercentiles(kline, k));
+      if (ticket) {
+        const SmpResult t = RunBaseline(w, cpus, trace, /*ticket=*/true);
+        if (!t.ok) {
+          std::fprintf(stderr, "ticket run failed (%s, %u cpus)\n", w.name, cpus);
+          return 1;
+        }
+        if (cpus == 1) {
+          ticket_m1 = t.makespan;
+        }
+        const double t_speedup = static_cast<double>(ticket_m1) / t.makespan;
+        const double t_share = t.total == 0 ? 0 : static_cast<double>(t.lock_spin) / t.total;
+        std::printf("  base-tkt %3u %12llu %12llu %9.2fx %14llu %11.1f%%\n", cpus,
+                    (unsigned long long)t.makespan, (unsigned long long)t.total, t_speedup,
+                    (unsigned long long)t.lock_spin, t_share * 100);
+        JsonLine tline("smp");
+        tline.Field("workload", w.name)
+            .Field("supervisor", "baseline")
+            .Field("lock", "ticket")
+            .Field("cpus", uint64_t{cpus})
+            .Field("makespan", t.makespan)
+            .Field("total_cycles", t.total)
+            .Field("speedup_vs_1cpu", t_speedup)
+            .Field("lock_acquisitions", t.lock_acquisitions)
+            .Field("lock_contended", t.lock_contended)
+            .Field("lock_spin_cycles", t.lock_spin)
+            .Field("spin_share", t_share)
+            .Field("lock_handoffs", t.lock_handoffs)
+            .Field("lock_handoff_cycles", t.lock_handoff_cycles)
+            .Field("lock_max_spin", t.lock_max_spin);
+        EmitJson(FieldPercentiles(tline, t));
+      }
       if (cpus == 4 && k.makespan >= kernel_m1) {
         kernel_scales = false;  // the acceptance shape: 4 CPUs beat 1
       }

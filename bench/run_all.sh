@@ -27,9 +27,17 @@ fi
 
 : > "${OUT}"
 failures=0
-for bench in "${BENCH_DIR}"/bench_perf_*; do
-  [ -x "${bench}" ] || continue
-  name="$(basename "${bench}")"
+# The expected set derives from the sources, not from what happens to be in
+# the build directory — a bench that failed to build (or was never built)
+# must fail the collection loudly, not silently thin the result file.
+for src in "${ROOT}"/bench/bench_perf_*.cc; do
+  name="$(basename "${src}" .cc)"
+  bench="${BENCH_DIR}/${name}"
+  if [ ! -x "${bench}" ]; then
+    echo "FAILED (missing binary): ${name} — rebuild ${BUILD_DIR}" >&2
+    failures=$((failures + 1))
+    continue
+  fi
   echo "--- ${name}"
   # The google-benchmark binaries accept the min-time flag; the plain ones
   # ignore unknown argv entirely (their main() takes no flags).

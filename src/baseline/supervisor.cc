@@ -54,6 +54,7 @@ MonolithicSupervisor::MonolithicSupervisor(const BaselineConfig& config)
       id_lock_spin_cycles_(metrics_.Intern("baseline.lock_spin_cycles")),
       id_lock_contended_(metrics_.Intern("baseline.lock_contended")) {
   trace_.Enable(config.cpu_count, config.trace);
+  global_lock_.ConfigureTicket(config.ticket_lock, config.ticket_handoff_cost);
   ev_lock_spin_ = trace_.InternEvent("lock.spin");
   ev_fault_service_ = trace_.InternEvent("fault.page_service");
   hist_lock_spin_ = metrics_.InternHistogram("lock.spin_cycles");

@@ -73,6 +73,13 @@ struct BaselineConfig {
   // Virtual-time tracer (default off; same byte-identical contract as the
   // kernel's KernelConfig::trace knob).
   TraceConfig trace;
+  // Ticket-ordered (FIFO) global lock.  The serialized simulation already
+  // grants the lock in a total order, so fairness does not change who runs;
+  // what the ticket discipline costs is the mandatory cache-line handoff to
+  // the next waiting ticket holder on every contended release.  Default off:
+  // byte-identical to the plain test-and-set model.
+  bool ticket_lock = false;
+  Cycles ticket_handoff_cost = 48;
 };
 
 // Baseline module names (the six boxes of Figure 2).
@@ -142,6 +149,9 @@ class MonolithicSupervisor {
   uint64_t global_lock_acquisitions() const { return lock_acquisitions_; }
   uint64_t global_lock_contended() const { return global_lock_.contended(); }
   Cycles global_lock_spin_cycles() const { return global_lock_.total_spin(); }
+  uint64_t global_lock_handoffs() const { return global_lock_.handoffs(); }
+  Cycles global_lock_handoff_cycles() const { return global_lock_.handoff_cycles(); }
+  Cycles global_lock_max_spin() const { return global_lock_.max_spin(); }
 
   // Simulated-parallel completion time across the pool (equals clock() time
   // elapsed since construction when cpu_count is 1).

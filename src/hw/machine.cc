@@ -339,7 +339,11 @@ AccessResult Processor::Access(Segno segno, uint32_t offset, AccessMode mode, ui
 
 ProcessorPool::ProcessorPool(uint16_t cpu_count, HwFeatures features, CostModel* cost,
                              Metrics* metrics, Tracer* trace)
-    : trace_(trace) {
+    : cost_(cost),
+      metrics_(metrics),
+      trace_(trace),
+      id_connect_signals_(metrics->Intern("hw.connect_signals")),
+      id_connect_cycles_(metrics->Intern("hw.connect_cycles")) {
   if (cpu_count == 0) {
     cpu_count = 1;
   }
@@ -352,10 +356,22 @@ ProcessorPool::ProcessorPool(uint16_t cpu_count, HwFeatures features, CostModel*
   }
 }
 
+void ProcessorPool::ChargeConnect() {
+  if (connect_cost_ == 0 || cpus_.size() < 2) {
+    return;
+  }
+  const uint64_t remote = cpus_.size() - 1;
+  const Cycles total = connect_cost_ * remote;
+  cost_->Charge(CodeStyle::kOptimized, total);
+  metrics_->Inc(id_connect_signals_, remote);
+  metrics_->Inc(id_connect_cycles_, total);
+}
+
 void ProcessorPool::ClearAssociative(Segno segno) {
   for (Processor& p : cpus_) {
     p.ClearAssociative(segno);
   }
+  ChargeConnect();
   if (trace_ != nullptr) {
     trace_->Instant(ev_connect_, segno.value,
                     static_cast<uint32_t>(ConnectKind::kClearSegno));
@@ -366,6 +382,7 @@ void ProcessorPool::InvalidateAssociative(const Ptw* ptw) {
   for (Processor& p : cpus_) {
     p.InvalidateAssociative(ptw);
   }
+  ChargeConnect();
   if (trace_ != nullptr) {
     trace_->Instant(ev_connect_, 0, static_cast<uint32_t>(ConnectKind::kInvalidatePtw));
   }
@@ -375,6 +392,7 @@ void ProcessorPool::InvalidateAssociative(const PageTable* pt) {
   for (Processor& p : cpus_) {
     p.InvalidateAssociative(pt);
   }
+  ChargeConnect();
   if (trace_ != nullptr) {
     trace_->Instant(ev_connect_, 0,
                     static_cast<uint32_t>(ConnectKind::kInvalidatePageTable));
@@ -385,6 +403,7 @@ void ProcessorPool::FlushAssociative() {
   for (Processor& p : cpus_) {
     p.FlushAssociative();
   }
+  ChargeConnect();
   if (trace_ != nullptr) {
     trace_->Instant(ev_connect_, 0, static_cast<uint32_t>(ConnectKind::kFlush));
   }

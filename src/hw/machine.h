@@ -325,6 +325,13 @@ class ProcessorPool {
   Processor& cpu(uint16_t k) { return cpus_[k]; }
   const Processor& cpu(uint16_t k) const { return cpus_[k]; }
 
+  // Virtual cycles one connect signal costs the broadcasting CPU per
+  // *remote* processor (count - 1 of them).  0 — the default — keeps
+  // broadcasts free, the pre-interconnect-model behaviour; nonzero makes
+  // invalidation storms real work on whichever CPU mutates descriptors.
+  void set_connect_cost(Cycles cost) { connect_cost_ = cost; }
+  Cycles connect_cost() const { return connect_cost_; }
+
   // Broadcast forms of the Processor invalidation protocol: every CPU drops
   // the affected translations.
   void ClearAssociative(Segno segno);
@@ -339,9 +346,18 @@ class ProcessorPool {
   void DropUserDs(const DescriptorSegment* ds);
 
  private:
+  // Charges the broadcast's connect cost and bumps the hw.connect_* counters;
+  // no-op at cost 0 or with a single CPU (there is nobody to signal).
+  void ChargeConnect();
+
   std::vector<Processor> cpus_;
+  CostModel* cost_;
+  Metrics* metrics_;
   Tracer* trace_;
   TraceEventId ev_connect_ = 0;
+  Cycles connect_cost_ = 0;
+  MetricId id_connect_signals_ = 0;
+  MetricId id_connect_cycles_ = 0;
 };
 
 // `arg` values of the hw.connect trace instant — which broadcast form fired.

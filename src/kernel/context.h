@@ -25,7 +25,7 @@ namespace mks {
 
 struct KernelContext {
   KernelContext(uint32_t memory_frames, HwFeatures features, double structured_factor,
-                uint64_t secret_seed, uint16_t cpu_count = 1)
+                uint64_t secret_seed, uint16_t cpu_count = 1, Cycles connect_cost = 0)
       : cost(&clock),
         trace(&clock, &metrics),
         eventcounts(&metrics),
@@ -36,6 +36,7 @@ struct KernelContext {
         smp(cpu_count, &metrics),
         secret(secret_seed) {
     cost.set_structured_factor(structured_factor);
+    cpus.set_connect_cost(connect_cost);
   }
 
   Clock clock;

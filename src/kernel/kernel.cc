@@ -6,7 +6,7 @@ Kernel::Kernel(const KernelConfig& config)
     : config_(config),
       ctx_(std::make_unique<KernelContext>(config.memory_frames, config.features,
                                            config.structured_factor, config.secret,
-                                           config.cpu_count)),
+                                           config.cpu_count, config.connect_cost)),
       id_shutdowns_(ctx_->metrics.Intern("kernel.shutdowns")) {
   // Before any manager interns events or records: size the per-CPU rings and
   // latch the knob.  With trace.enabled false the tracer stays inert and no
@@ -14,6 +14,7 @@ Kernel::Kernel(const KernelConfig& config)
   ctx_->trace.Enable(config.cpu_count, config.trace);
   core_segs_ = std::make_unique<CoreSegmentManager>(ctx_.get());
   vpm_ = std::make_unique<VirtualProcessorManager>(ctx_.get(), core_segs_.get());
+  vpm_->set_connect_cost(config.connect_cost);
   quota_ = std::make_unique<QuotaCellManager>(ctx_.get(), core_segs_.get());
   pfm_ = std::make_unique<PageFrameManager>(ctx_.get(), core_segs_.get(), quota_.get(),
                                             vpm_.get());
@@ -28,6 +29,8 @@ Kernel::Kernel(const KernelConfig& config)
   uproc_ = std::make_unique<UserProcessManager>(ctx_.get(), core_segs_.get(), vpm_.get(),
                                                 pfm_.get(), segs_.get(), ksm_.get(),
                                                 gates_.get());
+  uproc_->ConfigureDispatch(
+      {config.sharded_runqueues, config.steal, config.connect_cost});
 }
 
 Kernel::~Kernel() = default;

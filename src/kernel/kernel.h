@@ -39,6 +39,19 @@ struct KernelConfig {
   // Virtual-time tracer (default off — with it off every instrumented path
   // is byte-identical to an untraced build; same pattern as the pipeline).
   TraceConfig trace;
+  // Dispatch sharding (all default off — the legacy single ready list with
+  // free cross-CPU traffic, byte-identical to the pre-sharding scheduler).
+  // sharded_runqueues: per-CPU run queues, each behind its own SimSpinLock.
+  // steal: deterministic work stealing between sharded queues (inert unless
+  // sharded_runqueues is also set).
+  bool sharded_runqueues = false;
+  bool steal = false;
+  // connect_cost: virtual cycles per cross-CPU interconnect transfer.  Makes
+  // shared-line traffic real work: associative-memory broadcasts charge it
+  // per remote CPU, and the scheduler charges it whenever ready-list state,
+  // a vp state record, or a process's working set migrates between CPUs.
+  // 0 keeps all of that free (the legacy model).
+  Cycles connect_cost = 0;
   uint64_t root_quota = 1u << 20;
   Label root_label = Label::SystemLow();
   // Default: world-usable root, so examples/tests can build a hierarchy.

@@ -1,5 +1,7 @@
 #include "src/kernel/uproc.h"
 
+#include <algorithm>
+
 #include "src/common/hash.h"
 
 namespace mks {
@@ -18,11 +20,24 @@ UserProcessManager::UserProcessManager(KernelContext* ctx, CoreSegmentManager* c
       gates_(gates),
       id_processes_created_(ctx->metrics.Intern("uproc.processes_created")),
       id_idle_cycles_(ctx->metrics.Intern("uproc.idle_cycles")),
+      id_list_transfers_(ctx->metrics.Intern("sched.list_transfers")),
+      id_list_transfer_cycles_(ctx->metrics.Intern("sched.list_transfer_cycles")),
+      id_list_lock_spin_cycles_(ctx->metrics.Intern("sched.list_lock_spin_cycles")),
+      id_proc_migrations_(ctx->metrics.Intern("sched.proc_migrations")),
+      id_proc_migration_cycles_(ctx->metrics.Intern("sched.proc_migration_cycles")),
       ev_quantum_(ctx->trace.InternEvent("uproc.quantum")),
       ev_level1_(ctx->trace.InternEvent("uproc.level1")),
       ev_park_(ctx->trace.InternEvent("uproc.park")),
       ev_wake_(ctx->trace.InternEvent("uproc.wake")),
       hist_quantum_(ctx->metrics.InternHistogram("uproc.quantum_cycles")) {}
+
+void UserProcessManager::ConfigureDispatch(const DispatchConfig& config) {
+  dcfg_ = config;
+  if (dcfg_.sharded_runqueues) {
+    rq_ = std::make_unique<RunQueueSet>(ctx_->smp.count(), dcfg_.steal, dcfg_.connect_cost,
+                                        &ctx_->cost, &ctx_->metrics, &ctx_->trace);
+  }
+}
 
 Status UserProcessManager::Init() {
   CallTracker::Scope scope(&ctx_->tracker, self_);
@@ -73,6 +88,9 @@ Status UserProcessManager::DestroyProcess(ProcessId pid) {
   if (it->second.bound) {
     vpm_->ReleaseUserVp(it->second.vp);
   }
+  if (it->second.queued && rq_ != nullptr) {
+    rq_->Remove(pid.value);
+  }
   // Free the state segment's storage: sever its uses, deactivate, and
   // release the VTOC entry.
   const KstEntry* entry = ksm_->Lookup(pid, it->second.state_segno);
@@ -99,7 +117,48 @@ Status UserProcessManager::SetProgram(ProcessId pid, std::vector<UserOp> program
   it->second.program = std::move(program);
   it->second.pc = 0;
   it->second.state = ProcState::kReady;
+  if (rq_ != nullptr && !it->second.queued) {
+    it->second.queued = true;
+    rq_->Enqueue(pid.value, EffectiveMask(it->second), ctx_->current_cpu, RunQueueSet::kNoCpu,
+                 ctx_->smp.local_now(ctx_->current_cpu));
+  }
   return Status::Ok();
+}
+
+Status UserProcessManager::SetAffinity(ProcessId pid, uint32_t cpu_mask) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) {
+    return Status(Code::kNotFound, "no such process");
+  }
+  if (cpu_mask != 0) {
+    const uint16_t n = ctx_->smp.count();
+    const uint32_t pool = n >= 32 ? ~0u : ((1u << n) - 1);
+    if ((cpu_mask & pool) == 0) {
+      return Status(Code::kInvalidArgument, "affinity mask excludes every CPU");
+    }
+  }
+  it->second.affinity = cpu_mask;
+  if (it->second.queued && rq_ != nullptr) {
+    // Re-home the queued entry so the new mask governs immediately.
+    rq_->Remove(pid.value);
+    rq_->Enqueue(pid.value, EffectiveMask(it->second), ctx_->current_cpu, RunQueueSet::kNoCpu,
+                 ctx_->smp.local_now(ctx_->current_cpu));
+  }
+  return Status::Ok();
+}
+
+uint32_t UserProcessManager::affinity(ProcessId pid) const {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? 0 : it->second.affinity;
+}
+
+uint32_t UserProcessManager::EffectiveMask(const Process& proc) const {
+  if (proc.affinity == 0) {
+    return 0;
+  }
+  const uint16_t n = ctx_->smp.count();
+  const uint32_t pool = n >= 32 ? ~0u : ((1u << n) - 1);
+  return proc.affinity & pool;
 }
 
 ProcContext* UserProcessManager::Context(ProcessId pid) {
@@ -181,6 +240,231 @@ void UserProcessManager::Finish(Process& proc, ProcState state, Status why) {
   }
 }
 
+void UserProcessManager::AccrueOutside(uint16_t cpu, Cycles since) {
+  if (const Cycles d = ctx_->clock.now() - since; d > 0) {
+    ctx_->smp.Accrue(cpu, d);
+  }
+}
+
+void UserProcessManager::TouchReadyList(uint16_t cpu, Cycles lnow) {
+  // The global ready list modelled as one shared cache line under one lock —
+  // the traffic-controller picture.  Spin is real charged work (as in the
+  // baseline's global lock), and a touch from a CPU other than the last
+  // toucher bounces the line: one connect transfer.  The lock is held for
+  // the dispatch decision and queue manipulation (kDispatchHold), which is
+  // what serializes dispatch-rate-bound workloads.
+  constexpr Cycles kDispatchHold = 440;  // ~ (kVpSwitch + kProcessSwitch) structured
+  const Cycles spin = list_lock_.Acquire(lnow);
+  Cycles held = spin;
+  if (spin > 0) {
+    ctx_->cost.Charge(CodeStyle::kOptimized, spin);
+    ctx_->metrics.Inc(id_list_lock_spin_cycles_, spin);
+  }
+  if (dcfg_.connect_cost > 0 && list_owner_ != cpu && list_owner_ != kNoCpu) {
+    ctx_->cost.Charge(CodeStyle::kOptimized, dcfg_.connect_cost);
+    held += dcfg_.connect_cost;
+    ctx_->metrics.Inc(id_list_transfers_);
+    ctx_->metrics.Inc(id_list_transfer_cycles_, dcfg_.connect_cost);
+  }
+  list_owner_ = cpu;
+  list_lock_.Release(lnow + held + kDispatchHold);
+}
+
+void UserProcessManager::EnqueueReady(Process& proc, uint16_t from_cpu, Cycles lnow) {
+  if (rq_ != nullptr) {
+    if (proc.queued) {
+      return;
+    }
+    proc.queued = true;
+    rq_->Enqueue(proc.pid.value, EffectiveMask(proc), from_cpu,
+                 proc.last_cpu == kNoCpu ? RunQueueSet::kNoCpu : proc.last_cpu, lnow);
+  } else if (sched_costs_on()) {
+    // Global-list mode with interconnect costs: readying a process is a
+    // write to the shared ready list from `from_cpu`.
+    TouchReadyList(from_cpu, lnow);
+  }
+}
+
+UserProcessManager::DispatchOutcome UserProcessManager::RunQuantumOn(Process& proc,
+                                                                     uint16_t cpu,
+                                                                     Cycles dispatch_start,
+                                                                     bool affine_vp) {
+  auto accrue_quantum = [&] {
+    if (const Cycles d = ctx_->clock.now() - dispatch_start; d > 0) {
+      ctx_->smp.Accrue(cpu, d);
+      ctx_->trace.CloseSpan(dispatch_start, ev_quantum_, proc.pid.value, cpu,
+                            hist_quantum_);
+    }
+  };
+  auto vp = affine_vp ? vpm_->AcquireIdleUserVp(cpu) : vpm_->AcquireIdleUserVp();
+  if (!vp.ok()) {
+    return DispatchOutcome::kNoVp;  // pool exhausted this pass
+  }
+  proc.vp = *vp;
+  proc.bound = true;
+  proc.state = ProcState::kRunning;
+  ++proc.stats.dispatches;
+  ctx_->cost.Charge(CodeStyle::kStructured, Costs::kProcessSwitch);
+  // Running on a different CPU than last time drags the process's cached
+  // working state across the interconnect (free at connect cost 0).
+  if (sched_costs_on() && proc.last_cpu != kNoCpu && proc.last_cpu != cpu) {
+    ctx_->cost.Charge(CodeStyle::kOptimized, dcfg_.connect_cost);
+    ctx_->metrics.Inc(id_proc_migrations_);
+    ctx_->metrics.Inc(id_proc_migration_cycles_, dcfg_.connect_cost);
+  }
+  proc.last_cpu = cpu;
+
+  Status in = SwapStateIn(proc);
+  if (in.code() == Code::kBlocked) {
+    Park(proc);
+    accrue_quantum();
+    return DispatchOutcome::kRan;
+  }
+  if (!in.ok()) {
+    Finish(proc, ProcState::kAborted, in);
+    accrue_quantum();
+    return DispatchOutcome::kRan;
+  }
+
+  const VpId vp_used = proc.vp;
+  const Cycles start = ctx_->clock.now();
+  for (uint32_t n = 0; n < quantum_ && proc.pc < proc.program.size(); ++n) {
+    // User code runs in the user domain; its references enter the kernel
+    // afresh through the fault dispatcher.
+    CallTracker::SignalScope user_domain(&ctx_->tracker);
+    Status st = ExecOneOp(proc);
+    if (st.ok()) {
+      ++proc.pc;
+      ++proc.stats.ops_executed;
+      continue;
+    }
+    if (st.code() == Code::kBlocked) {
+      break;  // pending_wait already recorded in the context
+    }
+    Finish(proc, ProcState::kAborted, st);
+    break;
+  }
+  proc.stats.cpu_cycles += ctx_->clock.now() - start;
+  vpm_->AccrueBusy(vp_used, ctx_->clock.now() - start);
+
+  if (proc.state != ProcState::kRunning) {
+    accrue_quantum();
+    return DispatchOutcome::kRan;  // aborted above
+  }
+  if (proc.pc >= proc.program.size()) {
+    Finish(proc, ProcState::kDone, Status::Ok());
+  } else if (proc.ctx.pending_wait.valid &&
+             ctx_->eventcounts.Read(proc.ctx.pending_wait.ec) < proc.ctx.pending_wait.target) {
+    Park(proc);
+  } else {
+    // Quantum expired (or the wait already resolved): back to ready.
+    proc.state = ProcState::kReady;
+    SwapStateOut(proc);
+    vpm_->ReleaseUserVp(proc.vp);
+    proc.bound = false;
+  }
+  accrue_quantum();
+  return DispatchOutcome::kRan;
+}
+
+bool UserProcessManager::DispatchGlobal() {
+  // The legacy path: scan the one ready list, giving each ready process a
+  // quantum on the least-behind CPU.  With interconnect costs on, every
+  // dispatch locks and bounces the shared list line first.
+  bool did_work = false;
+  for (auto& [pid, proc] : procs_) {
+    if (proc.state != ProcState::kReady) {
+      continue;
+    }
+    // Quantum interleaving: this dispatch runs on the CPU whose local clock
+    // is furthest behind, and everything it charges — the vp acquisition,
+    // the switch, the state swap-in, the ops, their fault services — accrues
+    // to that CPU.
+    const uint32_t mask = EffectiveMask(proc);
+    const uint16_t cpu = mask == 0 ? ctx_->smp.NextCpu() : ctx_->smp.NextCpuIn(mask);
+    ctx_->current_cpu = cpu;
+    ctx_->trace.SetCpu(cpu);
+    const Cycles dispatch_start = ctx_->clock.now();
+    if (sched_costs_on()) {
+      TouchReadyList(cpu, ctx_->smp.local_now(cpu));
+    }
+    if (RunQuantumOn(proc, cpu, dispatch_start, /*affine_vp=*/false) ==
+        DispatchOutcome::kNoVp) {
+      AccrueOutside(cpu, dispatch_start);  // the list touch, if any
+      break;  // pool exhausted this pass
+    }
+    did_work = true;
+  }
+  return did_work;
+}
+
+bool UserProcessManager::DispatchSharded() {
+  // Sharded dispatch: the least-behind CPU pops its own queue (stealing in
+  // fixed victim order when empty and stealing is on) and runs one quantum;
+  // repeat until no CPU can obtain work.  Queue charges land inside the
+  // quantum window, so lock spin, line transfers, and steals all accrue to
+  // the dispatching CPU.
+  bool did_work = false;
+  const uint16_t n = ctx_->smp.count();
+  while (rq_->AnyQueued()) {
+    // CPUs in least-behind order (ties: lowest index), recomputed after
+    // every quantum so the interleave matches the legacy dispatch discipline.
+    std::vector<uint16_t> order(n);
+    for (uint16_t k = 0; k < n; ++k) {
+      order[k] = k;
+    }
+    std::sort(order.begin(), order.end(), [&](uint16_t a, uint16_t b) {
+      const Cycles la = ctx_->smp.local_now(a);
+      const Cycles lb = ctx_->smp.local_now(b);
+      return la != lb ? la < lb : a < b;
+    });
+    bool ran = false;
+    for (uint16_t cpu : order) {
+      ctx_->current_cpu = cpu;
+      ctx_->trace.SetCpu(cpu);
+      const Cycles dispatch_start = ctx_->clock.now();
+      const RunQueueSet::Popped pop = rq_->Dequeue(cpu, ctx_->smp.local_now(cpu));
+      if (!pop.ok) {
+        AccrueOutside(cpu, dispatch_start);  // fruitless steal scans charge
+        continue;
+      }
+      auto it = procs_.find(ProcessId(pop.id));
+      if (it == procs_.end()) {
+        AccrueOutside(cpu, dispatch_start);
+        continue;  // destroyed while queued (Remove is the normal path)
+      }
+      Process& proc = it->second;
+      proc.queued = false;
+      if (proc.state != ProcState::kReady) {
+        AccrueOutside(cpu, dispatch_start);
+        continue;
+      }
+      if (RunQuantumOn(proc, cpu, dispatch_start, /*affine_vp=*/true) ==
+          DispatchOutcome::kNoVp) {
+        // Pool exhausted: put the item back where the thief found work and
+        // end the pass; the next pass retries with vps released.
+        proc.queued = true;
+        rq_->PushFront(pop.id, pop.mask, cpu);
+        AccrueOutside(cpu, dispatch_start);
+        return did_work;
+      }
+      did_work = true;
+      ran = true;
+      if (proc.state == ProcState::kReady) {
+        // Quantum expired: requeue with this CPU as the locality hint.
+        const Cycles t0 = ctx_->clock.now();
+        EnqueueReady(proc, cpu, ctx_->smp.local_now(cpu));
+        AccrueOutside(cpu, t0);
+      }
+      break;  // recompute the least-behind order
+    }
+    if (!ran) {
+      break;  // queued work exists but no CPU may run it this pass
+    }
+  }
+  return did_work;
+}
+
 bool UserProcessManager::SchedulerPass() {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   bool did_work = false;
@@ -195,6 +479,12 @@ bool UserProcessManager::SchedulerPass() {
     did_work = true;
   }
 
+  // The bootload CPU's local time during level-1 work (its accrued clock
+  // plus this window's progress) — what wake-path queue touches charge at.
+  auto level1_lnow = [&] {
+    return ctx_->smp.local_now(0) + (ctx_->clock.now() - level1_start);
+  };
+
   // Drain the real-memory queue: wake parked processes.
   if (queue_ != nullptr) {
     while (auto msg = queue_->Pop()) {
@@ -202,6 +492,7 @@ bool UserProcessManager::SchedulerPass() {
       if (it != procs_.end() && it->second.state == ProcState::kBlocked) {
         it->second.state = ProcState::kReady;
         ctx_->trace.Instant(ev_wake_, it->second.pid.value, 1);
+        EnqueueReady(it->second, 0, level1_lnow());
         did_work = true;
       }
     }
@@ -212,6 +503,7 @@ bool UserProcessManager::SchedulerPass() {
         ctx_->eventcounts.Read(proc.ctx.pending_wait.ec) >= proc.ctx.pending_wait.target) {
       proc.state = ProcState::kReady;
       ctx_->trace.Instant(ev_wake_, proc.pid.value, 0);
+      EnqueueReady(proc, 0, level1_lnow());
       did_work = true;
     }
   }
@@ -221,87 +513,9 @@ bool UserProcessManager::SchedulerPass() {
     ctx_->trace.CloseSpan(level1_start, ev_level1_, 0, 0);
   }
 
-  // Dispatch ready processes onto idle virtual processors and run a quantum.
-  for (auto& [pid, proc] : procs_) {
-    if (proc.state != ProcState::kReady) {
-      continue;
-    }
-    // Quantum interleaving: this dispatch runs on the CPU whose local clock
-    // is furthest behind, and everything it charges — the vp acquisition,
-    // the switch, the state swap-in, the ops, their fault services — accrues
-    // to that CPU.
-    const uint16_t cpu = ctx_->smp.NextCpu();
-    ctx_->current_cpu = cpu;
-    ctx_->trace.SetCpu(cpu);
-    const Cycles dispatch_start = ctx_->clock.now();
-    auto accrue_quantum = [&] {
-      if (const Cycles d = ctx_->clock.now() - dispatch_start; d > 0) {
-        ctx_->smp.Accrue(cpu, d);
-        ctx_->trace.CloseSpan(dispatch_start, ev_quantum_, pid.value, cpu,
-                              hist_quantum_);
-      }
-    };
-    auto vp = vpm_->AcquireIdleUserVp();
-    if (!vp.ok()) {
-      break;  // pool exhausted this pass
-    }
-    proc.vp = *vp;
-    proc.bound = true;
-    proc.state = ProcState::kRunning;
-    ++proc.stats.dispatches;
-    ctx_->cost.Charge(CodeStyle::kStructured, Costs::kProcessSwitch);
+  // Dispatch ready processes onto idle virtual processors and run quanta.
+  if (rq_ != nullptr ? DispatchSharded() : DispatchGlobal()) {
     did_work = true;
-
-    Status in = SwapStateIn(proc);
-    if (in.code() == Code::kBlocked) {
-      Park(proc);
-      accrue_quantum();
-      continue;
-    }
-    if (!in.ok()) {
-      Finish(proc, ProcState::kAborted, in);
-      accrue_quantum();
-      continue;
-    }
-
-    const VpId vp_used = proc.vp;
-    const Cycles start = ctx_->clock.now();
-    for (uint32_t n = 0; n < quantum_ && proc.pc < proc.program.size(); ++n) {
-      // User code runs in the user domain; its references enter the kernel
-      // afresh through the fault dispatcher.
-      CallTracker::SignalScope user_domain(&ctx_->tracker);
-      Status st = ExecOneOp(proc);
-      if (st.ok()) {
-        ++proc.pc;
-        ++proc.stats.ops_executed;
-        continue;
-      }
-      if (st.code() == Code::kBlocked) {
-        break;  // pending_wait already recorded in the context
-      }
-      Finish(proc, ProcState::kAborted, st);
-      break;
-    }
-    proc.stats.cpu_cycles += ctx_->clock.now() - start;
-    vpm_->AccrueBusy(vp_used, ctx_->clock.now() - start);
-
-    if (proc.state != ProcState::kRunning) {
-      accrue_quantum();
-      continue;  // aborted above
-    }
-    if (proc.pc >= proc.program.size()) {
-      Finish(proc, ProcState::kDone, Status::Ok());
-    } else if (proc.ctx.pending_wait.valid &&
-               ctx_->eventcounts.Read(proc.ctx.pending_wait.ec) < proc.ctx.pending_wait.target) {
-      Park(proc);
-    } else {
-      // Quantum expired (or the wait already resolved): back to ready.
-      proc.state = ProcState::kReady;
-      SwapStateOut(proc);
-      vpm_->ReleaseUserVp(proc.vp);
-      proc.bound = false;
-    }
-    accrue_quantum();
   }
   return did_work;
 }

@@ -60,11 +60,24 @@ struct ProcessStats {
   Status last_error;
 };
 
+// Dispatch-path configuration (mirrors the KernelConfig knobs; all defaults
+// reproduce the legacy single-ready-list scheduler byte-for-byte).
+struct DispatchConfig {
+  bool sharded_runqueues = false;
+  bool steal = false;
+  Cycles connect_cost = 0;
+};
+
 class UserProcessManager {
  public:
   UserProcessManager(KernelContext* ctx, CoreSegmentManager* core_segs,
                      VirtualProcessorManager* vpm, PageFrameManager* pfm, SegmentManager* segs,
                      KnownSegmentManager* ksm, KernelGates* gates);
+
+  // Latches the dispatch knobs; with sharded_runqueues set, builds the
+  // per-CPU run queues.  Called once at kernel construction, before any
+  // process exists.
+  void ConfigureDispatch(const DispatchConfig& config);
 
   // Builds the real-memory message queue in a core segment and hands it to
   // the page frame manager's level-1 side.
@@ -74,12 +87,20 @@ class UserProcessManager {
   Status DestroyProcess(ProcessId pid);
 
   Status SetProgram(ProcessId pid, std::vector<UserOp> program);
+  // Restricts `pid` to the CPUs whose bits are set (bit k = CPU k); 0 — the
+  // default — allows any CPU.  The mask must intersect the pool.  Takes
+  // effect at the process's next (re-)enqueue and dispatch.
+  Status SetAffinity(ProcessId pid, uint32_t cpu_mask);
+  uint32_t affinity(ProcessId pid) const;
   ProcContext* Context(ProcessId pid);
   ProcState state(ProcessId pid) const;
   const ProcessStats& stats(ProcessId pid) const;
 
   // Ops each dispatched process may run before being preempted.
   void set_quantum(uint32_t quantum) { quantum_ = quantum; }
+
+  // The sharded run queues, or nullptr in legacy (global-list) mode.
+  const RunQueueSet* run_queues() const { return rq_.get(); }
 
   // Runs the two-level scheduler until every process is done/aborted or
   // `max_passes` scheduler passes elapse.  Returns kOk on quiescence.
@@ -90,6 +111,8 @@ class UserProcessManager {
   size_t process_count() const { return procs_.size(); }
 
  private:
+  static constexpr uint16_t kNoCpu = UINT16_MAX;
+
   struct Process {
     ProcessId pid{};
     ProcContext ctx;
@@ -100,10 +123,40 @@ class UserProcessManager {
     bool bound = false;
     Segno state_segno{};
     ProcessStats stats;
+    uint32_t affinity = 0;      // allowed-CPU mask; 0 = any
+    uint16_t last_cpu = kNoCpu; // CPU of the most recent dispatch
+    bool queued = false;        // present in the sharded run queues
   };
+
+  enum class DispatchOutcome : uint8_t { kRan, kNoVp };
 
   // One scheduler pass: kernel tasks, message drain, dispatch, execution.
   bool SchedulerPass();
+  // The two dispatch bodies SchedulerPass selects between: the legacy scan
+  // of the global ready list, and the sharded per-CPU queues.
+  bool DispatchGlobal();
+  bool DispatchSharded();
+  // One quantum on `cpu`, windowed from `dispatch_start`: vp acquisition
+  // (CPU-affine when `affine_vp`), process switch, state swap-in, the op
+  // loop, and the quantum's accrual.  kNoVp = vp pool exhausted, nothing
+  // charged or accrued yet.
+  DispatchOutcome RunQuantumOn(Process& proc, uint16_t cpu, Cycles dispatch_start,
+                               bool affine_vp);
+  // Readies `proc` for dispatch: sharded mode enqueues it; legacy mode with
+  // interconnect costs on touches the (modelled) global ready-list line.
+  void EnqueueReady(Process& proc, uint16_t from_cpu, Cycles lnow);
+  // The global ready list as a shared cache line: lock it from `cpu`,
+  // paying spin and a transfer when another CPU touched it last.
+  void TouchReadyList(uint16_t cpu, Cycles lnow);
+  // proc.affinity clipped to the pool (0 = any CPU).
+  uint32_t EffectiveMask(const Process& proc) const;
+  // Cross-CPU scheduling charges only exist with a configured connect cost
+  // and more than one CPU to cross between.
+  bool sched_costs_on() const {
+    return dcfg_.connect_cost > 0 && ctx_->smp.count() > 1;
+  }
+  // Accrues charges made outside a quantum window (queue ops) to `cpu`.
+  void AccrueOutside(uint16_t cpu, Cycles since);
   void Park(Process& proc);
   void Finish(Process& proc, ProcState state, Status why);
   Status ExecOneOp(Process& proc);
@@ -122,6 +175,11 @@ class UserProcessManager {
   KernelGates* gates_;
   MetricId id_processes_created_;
   MetricId id_idle_cycles_;
+  MetricId id_list_transfers_;
+  MetricId id_list_transfer_cycles_;
+  MetricId id_list_lock_spin_cycles_;
+  MetricId id_proc_migrations_;
+  MetricId id_proc_migration_cycles_;
   TraceEventId ev_quantum_;
   TraceEventId ev_level1_;
   TraceEventId ev_park_;
@@ -129,6 +187,10 @@ class UserProcessManager {
   HistId hist_quantum_;
   std::unique_ptr<RealMemoryQueue> queue_;
   std::unordered_map<ProcessId, Process> procs_;
+  DispatchConfig dcfg_;
+  std::unique_ptr<RunQueueSet> rq_;
+  SimSpinLock list_lock_;        // the modelled global ready-list lock
+  uint16_t list_owner_ = kNoCpu; // CPU that last touched the list's line
   uint32_t next_pid_ = 1;
   uint32_t quantum_ = 16;
   uint64_t state_uid_counter_ = 0;

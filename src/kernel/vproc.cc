@@ -18,6 +18,8 @@ VirtualProcessorManager::VirtualProcessorManager(KernelContext* ctx,
       core_segs_(core_segs),
       id_pool_size_(ctx->metrics.Intern("vproc.pool_size")),
       id_dispatches_(ctx->metrics.Intern("vproc.dispatches")),
+      id_vp_migrations_(ctx->metrics.Intern("vproc.vp_migrations")),
+      id_vp_migration_cycles_(ctx->metrics.Intern("vproc.vp_migration_cycles")),
       ev_ec_advance_(ctx->trace.InternEvent("ec.advance")),
       ev_vp_dispatch_(ctx->trace.InternEvent("vp.dispatch")),
       ev_kernel_task_(ctx->trace.InternEvent("vp.kernel_task")) {}
@@ -74,6 +76,26 @@ std::vector<VpId> VirtualProcessorManager::UserPool() const {
   return pool;
 }
 
+Result<VpId> VirtualProcessorManager::TakeUserVp(uint16_t i) {
+  Vp& v = vps_[i];
+  acquire_cursor_ = static_cast<uint16_t>((i + 1) % vps_.size());
+  v.state = VpState::kRunning;
+  StoreState(VpId(i));
+  ctx_->cost.Charge(CodeStyle::kStructured, Costs::kVpSwitch);
+  // Loading a state record last resident in another CPU's cache pays one
+  // interconnect transfer.  Free at connect cost 0 (the legacy model) and
+  // structurally free with one CPU (last_cpu can never differ).
+  if (connect_cost_ > 0 && v.last_cpu != ctx_->current_cpu) {
+    ctx_->cost.Charge(CodeStyle::kOptimized, connect_cost_);
+    ctx_->metrics.Inc(id_vp_migrations_);
+    ctx_->metrics.Inc(id_vp_migration_cycles_, connect_cost_);
+  }
+  v.last_cpu = ctx_->current_cpu;
+  ctx_->metrics.Inc(id_dispatches_);
+  ctx_->trace.Instant(ev_vp_dispatch_, i, 0);
+  return VpId(i);
+}
+
 Result<VpId> VirtualProcessorManager::AcquireIdleUserVp() {
   CallTracker::Scope scope(&ctx_->tracker, self_);
   const uint16_t n = static_cast<uint16_t>(vps_.size());
@@ -81,13 +103,29 @@ Result<VpId> VirtualProcessorManager::AcquireIdleUserVp() {
     const uint16_t i = static_cast<uint16_t>((acquire_cursor_ + step) % n);
     Vp& v = vps_[i];
     if (!v.kernel_bound && v.state == VpState::kIdle) {
-      acquire_cursor_ = static_cast<uint16_t>((i + 1) % n);
-      v.state = VpState::kRunning;
-      StoreState(VpId(i));
-      ctx_->cost.Charge(CodeStyle::kStructured, Costs::kVpSwitch);
-      ctx_->metrics.Inc(id_dispatches_);
-      ctx_->trace.Instant(ev_vp_dispatch_, i, 0);
-      return VpId(i);
+      return TakeUserVp(i);
+    }
+  }
+  return Status(Code::kResourceExhausted, "no idle virtual processor");
+}
+
+Result<VpId> VirtualProcessorManager::AcquireIdleUserVp(uint16_t prefer_cpu) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  const uint16_t n = static_cast<uint16_t>(vps_.size());
+  // First choice: an idle vp already warm on the preferred CPU, scanned in
+  // fixed index order for determinism.
+  for (uint16_t i = 0; i < n; ++i) {
+    Vp& v = vps_[i];
+    if (!v.kernel_bound && v.state == VpState::kIdle && v.last_cpu == prefer_cpu) {
+      return TakeUserVp(i);
+    }
+  }
+  // Otherwise the rotating cursor, as the non-affine path does.
+  for (uint16_t step = 0; step < n; ++step) {
+    const uint16_t i = static_cast<uint16_t>((acquire_cursor_ + step) % n);
+    Vp& v = vps_[i];
+    if (!v.kernel_bound && v.state == VpState::kIdle) {
+      return TakeUserVp(i);
     }
   }
   return Status(Code::kResourceExhausted, "no idle virtual processor");

@@ -55,7 +55,17 @@ class VirtualProcessorManager {
   // Unbound vps available for multiplexing user processes (level 2).
   std::vector<VpId> UserPool() const;
   Result<VpId> AcquireIdleUserVp();
+  // CPU-affine acquisition (sharded dispatch): prefers an idle vp whose
+  // state record was last loaded on `prefer_cpu`, falling back to the
+  // rotating cursor.  With a connect cost configured, loading a vp state
+  // last touched by another CPU charges one interconnect transfer.
+  Result<VpId> AcquireIdleUserVp(uint16_t prefer_cpu);
   void ReleaseUserVp(VpId vp);
+
+  // Virtual cycles to migrate a vp state record between CPUs (0 = free, the
+  // legacy model).  Wired from KernelConfig::connect_cost at construction of
+  // the kernel; charges only materialize with a multi-CPU pool.
+  void set_connect_cost(Cycles cost) { connect_cost_ = cost; }
 
   // Eventcount interface.  Await returns true when the target is already
   // satisfied; otherwise the vp is marked waiting and false is returned.
@@ -85,6 +95,9 @@ class VirtualProcessorManager {
 
  private:
   void StoreState(VpId vp);  // writes the state record through the core segment
+  // Shared tail of both acquisition paths: marks vp `i` running, charges the
+  // switch (and the migration transfer when its state last ran elsewhere).
+  Result<VpId> TakeUserVp(uint16_t i);
 
   struct Vp {
     VpState state = VpState::kIdle;
@@ -92,13 +105,17 @@ class VirtualProcessorManager {
     std::string name;
     KernelTask task;
     Cycles busy = 0;
+    uint16_t last_cpu = 0;  // CPU that last loaded this vp's state record
   };
 
   KernelContext* ctx_;
   ModuleId self_;
   CoreSegmentManager* core_segs_;
+  Cycles connect_cost_ = 0;
   MetricId id_pool_size_;
   MetricId id_dispatches_;
+  MetricId id_vp_migrations_;
+  MetricId id_vp_migration_cycles_;
   TraceEventId ev_ec_advance_;
   TraceEventId ev_vp_dispatch_;
   TraceEventId ev_kernel_task_;

@@ -19,11 +19,14 @@
 #define MKS_SIM_CPU_SCHED_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
 #include "src/sim/clock.h"
 #include "src/sim/metrics.h"
+#include "src/sim/trace.h"
+#include "src/sync/spinlock.h"
 
 namespace mks {
 
@@ -52,6 +55,21 @@ class CpuInterleave {
       }
     }
     return best;
+  }
+
+  // Least-behind CPU among those whose bit is set in `mask` (affinity
+  // dispatch).  The mask must intersect the pool; bit k = CPU k.
+  uint16_t NextCpuIn(uint32_t mask) const {
+    uint16_t best = UINT16_MAX;
+    for (uint16_t k = 0; k < count(); ++k) {
+      if (((mask >> k) & 1u) == 0) {
+        continue;
+      }
+      if (best == UINT16_MAX || cpus_[k].local < cpus_[best].local) {
+        best = k;
+      }
+    }
+    return best == UINT16_MAX ? 0 : best;
   }
 
   // Charges one quantum's worth of busy cycles to `cpu`'s local clock.
@@ -100,6 +118,261 @@ class CpuInterleave {
   };
   std::vector<PerCpu> cpus_;
   Metrics* metrics_;
+};
+
+// Sharded per-CPU run queues with deterministic work stealing.
+//
+// Each CPU owns one FIFO of dispatchable item ids, guarded by its own
+// SimSpinLock, plus a "cache line" owner: the CPU that last touched the
+// queue's shared state.  Every queue operation from a CPU other than the
+// line owner pays `connect_cost` cycles — the connect-signal / cache-line
+// transfer of a real interconnect — so cross-CPU scheduling traffic is
+// charged work, while a CPU working its own queue runs transfer-free.  With
+// `connect_cost` 0 the queues carry no charges at all (lock spin excepted,
+// and that is structurally zero when queue touches never overlap in virtual
+// time), so the sharded layout can be ablated against the charged model.
+//
+// Stealing is deterministic: when a CPU's own queue is empty it scans
+// victims in fixed ascending order (cpu+1, cpu+2, ... mod count) and takes
+// the first affinity-compatible item from the front of the first non-empty
+// queue.  A steal pays the victim queue's lock plus one connect transfer,
+// and is recorded as a `runq.steal` trace span (proc = stolen id,
+// arg = victim CPU).
+//
+// Items carry an affinity mask (bit k = may run on CPU k; 0 = any).  Enqueue
+// places an item on the shortest allowed queue, preferring the hint CPU on
+// ties (locality: a quantum-expired process re-queues where it just ran), so
+// an item's home queue always admits it — only steals need a mask check.
+class RunQueueSet {
+ public:
+  static constexpr uint16_t kNoCpu = UINT16_MAX;
+
+  RunQueueSet(uint16_t cpu_count, bool steal, Cycles connect_cost, CostModel* cost,
+              Metrics* metrics, Tracer* trace)
+      : steal_(steal),
+        connect_cost_(connect_cost),
+        cost_(cost),
+        metrics_(metrics),
+        trace_(trace),
+        ev_steal_(trace->InternEvent("runq.steal")),
+        ev_lock_spin_(trace->InternEvent("runq.lock_spin")),
+        id_steals_(metrics->Intern("runq.steals")),
+        id_steal_cycles_(metrics->Intern("runq.steal_cycles")),
+        id_transfers_(metrics->Intern("runq.transfers")),
+        id_transfer_cycles_(metrics->Intern("runq.transfer_cycles")),
+        id_lock_spins_(metrics->Intern("runq.lock_spins")),
+        id_lock_spin_cycles_(metrics->Intern("runq.lock_spin_cycles")) {
+    if (cpu_count == 0) {
+      cpu_count = 1;
+    }
+    shards_.reserve(cpu_count);
+    for (uint16_t k = 0; k < cpu_count; ++k) {
+      const std::string prefix = "runq.cpu" + std::to_string(k);
+      Shard s;
+      s.id_pushes = metrics->Intern(prefix + ".pushes");
+      s.id_pops = metrics->Intern(prefix + ".pops");
+      s.id_lock_spin_cycles = metrics->Intern(prefix + ".lock_spin_cycles");
+      s.hist_depth = metrics->InternHistogram(prefix + ".depth");
+      shards_.push_back(std::move(s));
+    }
+  }
+
+  struct Popped {
+    bool ok = false;
+    bool stolen = false;
+    uint32_t id = 0;
+    uint32_t mask = 0;
+    uint16_t victim = kNoCpu;
+  };
+
+  uint16_t count() const { return static_cast<uint16_t>(shards_.size()); }
+  bool steal_enabled() const { return steal_; }
+  size_t depth(uint16_t cpu) const { return shards_[cpu].items.size(); }
+
+  bool AnyQueued() const {
+    for (const Shard& s : shards_) {
+      if (!s.items.empty()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t TotalQueued() const {
+    size_t n = 0;
+    for (const Shard& s : shards_) {
+      n += s.items.size();
+    }
+    return n;
+  }
+
+  // True when CPU `cpu` may run an item with `mask` (0 = any CPU).
+  bool Allowed(uint32_t mask, uint16_t cpu) const {
+    return mask == 0 || ((mask >> cpu) & 1u) != 0;
+  }
+
+  // Places `id` on the shortest allowed queue (ties: `hint_cpu` if allowed
+  // and tied, else lowest index).  `from_cpu` is the enqueuing CPU — a push
+  // onto a queue last touched by another CPU pays one connect transfer.
+  void Enqueue(uint32_t id, uint32_t mask, uint16_t from_cpu, uint16_t hint_cpu, Cycles lnow) {
+    uint16_t home = kNoCpu;
+    for (uint16_t k = 0; k < count(); ++k) {
+      if (!Allowed(mask, k)) {
+        continue;
+      }
+      if (home == kNoCpu || shards_[k].items.size() < shards_[home].items.size()) {
+        home = k;
+      }
+    }
+    if (home == kNoCpu) {
+      home = 0;  // unsatisfiable mask; callers validate, this is a backstop
+    }
+    if (hint_cpu < count() && Allowed(mask, hint_cpu) &&
+        shards_[hint_cpu].items.size() == shards_[home].items.size()) {
+      home = hint_cpu;
+    }
+    Shard& s = shards_[home];
+    const Cycles held = TouchShard(s, from_cpu, lnow);
+    s.items.push_back(Item{id, mask});
+    metrics_->Inc(s.id_pushes);
+    metrics_->Observe(s.hist_depth, s.items.size());
+    s.lock.Release(lnow + held);
+  }
+
+  // Takes the front of `cpu`'s own queue; when empty and stealing is on,
+  // scans victims in fixed ascending order for the first item `cpu` may run.
+  Popped Dequeue(uint16_t cpu, Cycles lnow) {
+    Popped out;
+    Shard& own = shards_[cpu];
+    if (!own.items.empty()) {
+      const Cycles held = TouchShard(own, cpu, lnow);
+      out.ok = true;
+      out.id = own.items.front().id;
+      out.mask = own.items.front().mask;
+      out.victim = cpu;
+      own.items.pop_front();
+      metrics_->Inc(own.id_pops);
+      own.lock.Release(lnow + held);
+      return out;
+    }
+    if (!steal_) {
+      return out;
+    }
+    for (uint16_t d = 1; d < count(); ++d) {
+      const uint16_t v = static_cast<uint16_t>((cpu + d) % count());
+      Shard& victim = shards_[v];
+      if (victim.items.empty()) {
+        continue;
+      }
+      const Cycles steal_begin = trace_->Begin();
+      Cycles held = TouchShard(victim, cpu, lnow);
+      bool found = false;
+      for (auto it = victim.items.begin(); it != victim.items.end(); ++it) {
+        if (!Allowed(it->mask, cpu)) {
+          continue;
+        }
+        out.ok = true;
+        out.stolen = true;
+        out.id = it->id;
+        out.mask = it->mask;
+        out.victim = v;
+        victim.items.erase(it);
+        found = true;
+        break;
+      }
+      if (found) {
+        // The stolen item's state migrates to the thief: one more transfer
+        // on top of the queue-line bounce TouchShard already charged.
+        if (connect_cost_ > 0) {
+          cost_->Charge(CodeStyle::kOptimized, connect_cost_);
+          held += connect_cost_;
+        }
+        metrics_->Inc(id_steals_);
+        metrics_->Inc(id_steal_cycles_, held);
+        metrics_->Inc(victim.id_pops);
+        victim.lock.Release(lnow + held);
+        trace_->CloseSpan(steal_begin, ev_steal_, out.id, v);
+        return out;
+      }
+      victim.lock.Release(lnow + held);  // nothing affinity-compatible here
+    }
+    return out;
+  }
+
+  // Returns an item to the front of `cpu`'s own queue (dispatch could not
+  // complete — vp pool exhausted).  Pure bookkeeping: the undo path charges
+  // nothing, mirroring how the legacy scheduler's exhaustion break is free.
+  void PushFront(uint32_t id, uint32_t mask, uint16_t cpu) {
+    shards_[cpu].items.push_front(Item{id, mask});
+  }
+
+  // Drops a queued item (process destruction).  Teardown path: uncharged.
+  bool Remove(uint32_t id) {
+    for (Shard& s : shards_) {
+      for (auto it = s.items.begin(); it != s.items.end(); ++it) {
+        if (it->id == id) {
+          s.items.erase(it);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+ private:
+  struct Item {
+    uint32_t id = 0;
+    uint32_t mask = 0;
+  };
+  struct Shard {
+    std::deque<Item> items;
+    SimSpinLock lock;
+    uint16_t line_owner = kNoCpu;
+    MetricId id_pushes = 0;
+    MetricId id_pops = 0;
+    MetricId id_lock_spin_cycles = 0;
+    HistId hist_depth = 0;
+  };
+
+  // Acquires a shard's lock from `from_cpu` at local time `lnow`, charging
+  // spin and (when the queue's line lives on another CPU) one connect
+  // transfer.  Returns the cycles charged so far under the lock; the caller
+  // must Release at `lnow + held`.
+  Cycles TouchShard(Shard& s, uint16_t from_cpu, Cycles lnow) {
+    const Cycles spin_begin = trace_->Begin();
+    const Cycles spin = s.lock.Acquire(lnow);
+    Cycles held = spin;
+    if (spin > 0) {
+      cost_->Charge(CodeStyle::kOptimized, spin);
+      metrics_->Inc(id_lock_spins_);
+      metrics_->Inc(id_lock_spin_cycles_, spin);
+      metrics_->Inc(s.id_lock_spin_cycles, spin);
+      trace_->CloseSpan(spin_begin, ev_lock_spin_, from_cpu);
+    }
+    if (connect_cost_ > 0 && s.line_owner != from_cpu && s.line_owner != kNoCpu) {
+      cost_->Charge(CodeStyle::kOptimized, connect_cost_);
+      held += connect_cost_;
+      metrics_->Inc(id_transfers_);
+      metrics_->Inc(id_transfer_cycles_, connect_cost_);
+    }
+    s.line_owner = from_cpu;
+    return held;
+  }
+
+  bool steal_;
+  Cycles connect_cost_;
+  CostModel* cost_;
+  Metrics* metrics_;
+  Tracer* trace_;
+  TraceEventId ev_steal_;
+  TraceEventId ev_lock_spin_;
+  MetricId id_steals_;
+  MetricId id_steal_cycles_;
+  MetricId id_transfers_;
+  MetricId id_transfer_cycles_;
+  MetricId id_lock_spins_;
+  MetricId id_lock_spin_cycles_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace mks

@@ -14,6 +14,18 @@
 // observe `free_at_` in its future and the spin is structurally zero — the
 // uniprocessor cost sequence is untouched.
 //
+// Ticket mode: the default grant order is the arrival order of quanta, which
+// in this simulator is already a total order — the serialized dispatch means
+// spinners are granted one at a time and can never overtake each other, so a
+// FIFO ticket lock grants in the *same* order.  What a ticket lock changes on
+// real hardware is the cost per handoff: the lock word migrates to exactly
+// one waiter's cache per release (instead of a free-for-all), so every
+// contended grant pays one cache-line transfer before the new holder
+// proceeds.  ConfigureTicket models that: each contended acquisition adds a
+// fixed handoff cost to the returned spin, and the handoffs are counted
+// separately so fairness traffic is visible next to raw spin.  Uncontended
+// acquisitions are unchanged — the line is already resident.
+//
 // The kernel side deliberately has no counterpart: colliding references hit
 // the descriptor lock bit and park on the page's eventcount via the
 // lock-address register, giving the processor away instead of spinning.
@@ -28,6 +40,14 @@ namespace mks {
 
 class SimSpinLock {
  public:
+  // Switches the lock to ticket (FIFO handoff) mode: every contended
+  // acquisition additionally pays `handoff_cost` cycles for the line
+  // transfer to the next ticket holder.  Call before first use.
+  void ConfigureTicket(bool enabled, Cycles handoff_cost) {
+    ticket_ = enabled;
+    handoff_cost_ = handoff_cost;
+  }
+
   // Acquires at local virtual time `local_now`; returns the spin cycles the
   // acquiring CPU burns before the lock comes free (0 when uncontended).
   Cycles Acquire(Cycles local_now) {
@@ -36,7 +56,15 @@ class SimSpinLock {
     if (free_at_ > local_now) {
       spin = free_at_ - local_now;
       ++contended_;
+      if (ticket_) {
+        spin += handoff_cost_;
+        handoff_cycles_ += handoff_cost_;
+        ++handoffs_;
+      }
       total_spin_ += spin;
+      if (spin > max_spin_) {
+        max_spin_ = spin;
+      }
     }
     held_ = true;
     return spin;
@@ -55,13 +83,21 @@ class SimSpinLock {
   uint64_t acquisitions() const { return acquisitions_; }
   uint64_t contended() const { return contended_; }
   Cycles total_spin() const { return total_spin_; }
+  Cycles max_spin() const { return max_spin_; }
+  uint64_t handoffs() const { return handoffs_; }
+  Cycles handoff_cycles() const { return handoff_cycles_; }
 
  private:
   Cycles free_at_ = 0;
   bool held_ = false;
+  bool ticket_ = false;
+  Cycles handoff_cost_ = 0;
   uint64_t acquisitions_ = 0;
   uint64_t contended_ = 0;
   Cycles total_spin_ = 0;
+  Cycles max_spin_ = 0;
+  uint64_t handoffs_ = 0;
+  Cycles handoff_cycles_ = 0;
 };
 
 }  // namespace mks

@@ -1,11 +1,52 @@
-// Tests for eventcounts, sequencers, and the real-memory message queue.
+// Tests for eventcounts, sequencers, the simulated spin lock, and the
+// real-memory message queue.
 #include <gtest/gtest.h>
 
 #include "src/sync/eventcount.h"
 #include "src/sync/message_queue.h"
+#include "src/sync/spinlock.h"
 
 namespace mks {
 namespace {
+
+TEST(SimSpinLock, UncontendedAcquireIsFree) {
+  SimSpinLock lock;
+  EXPECT_EQ(lock.Acquire(100), 0u);
+  lock.Release(150);
+  // The next acquirer arrives after the release point: still free.
+  EXPECT_EQ(lock.Acquire(200), 0u);
+  EXPECT_EQ(lock.contended(), 0u);
+}
+
+TEST(SimSpinLock, ContendedAcquireBurnsTheGap) {
+  SimSpinLock lock;
+  lock.Acquire(0);
+  lock.Release(500);
+  // An acquirer whose local clock is behind the release point spins the gap.
+  EXPECT_EQ(lock.Acquire(120), 380u);
+  EXPECT_EQ(lock.contended(), 1u);
+  EXPECT_EQ(lock.total_spin(), 380u);
+  EXPECT_EQ(lock.max_spin(), 380u);
+  EXPECT_EQ(lock.handoffs(), 0u);  // plain mode: no handoff charges
+}
+
+TEST(SimSpinLock, TicketModeAddsHandoffPerContendedGrant) {
+  SimSpinLock plain;
+  SimSpinLock ticket;
+  ticket.ConfigureTicket(true, 48);
+  for (SimSpinLock* lock : {&plain, &ticket}) {
+    lock->Acquire(0);
+    lock->Release(500);
+  }
+  EXPECT_EQ(plain.Acquire(120), 380u);
+  EXPECT_EQ(ticket.Acquire(120), 428u);  // the same gap plus one handoff
+  EXPECT_EQ(ticket.handoffs(), 1u);
+  EXPECT_EQ(ticket.handoff_cycles(), 48u);
+  // Uncontended acquisitions stay free in ticket mode: the line is resident.
+  ticket.Release(900);
+  EXPECT_EQ(ticket.Acquire(1000), 0u);
+  EXPECT_EQ(ticket.handoffs(), 1u);
+}
 
 TEST(Eventcount, AdvanceWakesSatisfiedWaiters) {
   Metrics metrics;
