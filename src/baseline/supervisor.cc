@@ -648,7 +648,7 @@ Status MonolithicSupervisor::HandleMissingPage(uint32_t ast_index, uint32_t page
         }
         metrics_.Inc(id_zero_page_reallocations_);
       } else {
-        volumes_.pack(ast.pack)->ReadRecord(fm.record, memory_->FrameSpan(*frame));
+        volumes_.ReadRecordLazy(ast.pack, fm.record, memory_.get(), *frame);
       }
       ptw.frame = frame->value;
       ptw.in_core = true;

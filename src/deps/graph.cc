@@ -36,8 +36,32 @@ ModuleId DependencyGraph::AddModule(std::string_view name) {
 
 void DependencyGraph::AddEdge(ModuleId from, ModuleId to, DepKind kind) {
   assert(from.value < names_.size() && to.value < names_.size());
+  if (seen_modules_ != names_.size()) {
+    GrowSeen();
+  }
+  const size_t bit =
+      (static_cast<size_t>(from.value) * kDepKindCount + static_cast<size_t>(kind)) *
+          seen_modules_ +
+      to.value;
+  const uint64_t mask = uint64_t{1} << (bit & 63);
+  if ((seen_bits_[bit >> 6] & mask) != 0) {
+    return;  // already recorded; skip the tree inserts
+  }
+  seen_bits_[bit >> 6] |= mask;
   edges_.insert(DepEdge{from, to, kind});
   adj_[from].insert(to);
+}
+
+void DependencyGraph::GrowSeen() {
+  seen_modules_ = names_.size();
+  seen_bits_.assign((seen_modules_ * kDepKindCount * seen_modules_ + 63) / 64, 0);
+  for (const DepEdge& e : edges_) {
+    const size_t bit =
+        (static_cast<size_t>(e.from.value) * kDepKindCount + static_cast<size_t>(e.kind)) *
+            seen_modules_ +
+        e.to.value;
+    seen_bits_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
 }
 
 void DependencyGraph::AddEdge(std::string_view from, std::string_view to, DepKind kind) {

@@ -28,6 +28,7 @@ enum class DepKind : uint8_t {
   kAddressSpace,  // the address space M executes in is the other's object
   kInterpreter,   // the virtual processor interpreting M is the other's object
 };
+inline constexpr size_t kDepKindCount = 5;
 
 std::string_view DepKindName(DepKind kind);
 
@@ -97,11 +98,20 @@ class DependencyGraph {
   std::string ToText() const;
 
  private:
+  // Rebuilds the seen-edge bitmap for the current module count.
+  void GrowSeen();
+
   std::vector<std::string> names_;
   std::map<std::string, ModuleId, std::less<>> ids_;
   std::set<DepEdge> edges_;
   // Adjacency cache: from -> set of to (any kind).
   std::map<ModuleId, std::set<ModuleId>> adj_;
+  // Dedupe filter in front of the ordered containers: the observed graph is
+  // fed one edge per cross-module call, almost all repeats, and a bit test is
+  // far cheaper than two tree inserts.  Bit ((from * kinds + kind) * n + to)
+  // is set iff the edge is already present; rebuilt when modules are added.
+  std::vector<uint64_t> seen_bits_;
+  size_t seen_modules_ = 0;
 };
 
 }  // namespace mks

@@ -65,13 +65,15 @@ void DiskPack::FreeRecord(RecordIndex record) {
 }
 
 void DiskPack::ReadRecord(RecordIndex record, std::span<Word> out) {
-  assert(record.value < record_count_ && out.size() == kPageWords);
+  ChargeRead(record);
+  CopyRecord(record, out);
+}
+
+void DiskPack::ChargeRead(RecordIndex record) {
+  assert(record.value < record_count_);
+  (void)record;
   cost_->Charge(CodeStyle::kOptimized, Costs::kDiskReadLatency);
   metrics_->Inc(id_reads_);
-  const std::vector<Word>& data = record_data_[record.value];
-  for (size_t i = 0; i < kPageWords; ++i) {
-    out[i] = i < data.size() ? data[i] : 0;
-  }
 }
 
 void DiskPack::WriteRecord(RecordIndex record, std::span<const Word> in) {
@@ -84,9 +86,9 @@ void DiskPack::WriteRecord(RecordIndex record, std::span<const Word> in) {
 void DiskPack::CopyRecord(RecordIndex record, std::span<Word> out) const {
   assert(record.value < record_count_ && out.size() == kPageWords);
   const std::vector<Word>& data = record_data_[record.value];
-  for (size_t i = 0; i < kPageWords; ++i) {
-    out[i] = i < data.size() ? data[i] : 0;
-  }
+  const size_t have = std::min(data.size(), static_cast<size_t>(kPageWords));
+  std::copy_n(data.begin(), have, out.begin());
+  std::fill(out.begin() + have, out.end(), 0);
 }
 
 void DiskPack::StoreRecord(RecordIndex record, std::span<const Word> in) {
@@ -196,6 +198,18 @@ uint32_t DiskPack::vtoc_in_use() const {
     }
   }
   return used;
+}
+
+void VolumeControl::ReadRecordLazy(PackId id, RecordIndex record, PrimaryMemory* memory,
+                                   FrameIndex frame) {
+  pack(id)->ChargeRead(record);
+  memory->BindPending(frame, this, (static_cast<uint64_t>(id.value) << 32) | record.value);
+}
+
+void VolumeControl::FillPage(uint64_t cookie, std::span<Word> out) const {
+  const PackId id(static_cast<uint16_t>(cookie >> 32));
+  const RecordIndex record(static_cast<uint32_t>(cookie));
+  pack(id)->CopyRecord(record, out);
 }
 
 PackId VolumeControl::AddPack(uint32_t record_count, uint32_t vtoc_slots) {

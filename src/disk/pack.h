@@ -72,6 +72,9 @@ class DiskPack {
   // Record I/O; charges transfer latency to the clock.
   void ReadRecord(RecordIndex record, std::span<Word> out);
   void WriteRecord(RecordIndex record, std::span<const Word> in);
+  // The accounting half of ReadRecord alone (latency charge + read metric),
+  // for lazy fills whose data copy is deferred to first touch.
+  void ChargeRead(RecordIndex record);
 
   // ---- Batched request queue (the anticipatory paging pipeline) ----
   //
@@ -92,6 +95,11 @@ class DiskPack {
   // was accounted elsewhere (asynchronous completions, pack-to-pack moves).
   void CopyRecord(RecordIndex record, std::span<Word> out) const;
   void StoreRecord(RecordIndex record, std::span<const Word> in);
+  // One word of a record without a copy or a charge (lazy-fill read-through).
+  Word PeekWord(RecordIndex record, size_t index) const {
+    const std::vector<Word>& data = record_data_[record.value];
+    return index < data.size() ? data[index] : 0;
+  }
 
   Result<VtocIndex> AllocateVtoc(SegmentUid uid, bool is_directory);
   // Frees the VTOC slot and every record its file map holds.
@@ -132,7 +140,11 @@ class DiskPack {
 };
 
 // The set of mounted packs plus placement policy.
-class VolumeControl {
+//
+// VolumeControl (not DiskPack) is the PageSource for lazy page fills: packs_
+// may reallocate as packs are mounted, so a stable owner decodes the
+// (pack, record) cookie at materialization time.
+class VolumeControl : public PageSource {
  public:
   VolumeControl(CostModel* cost, Metrics* metrics, Tracer* trace = nullptr)
       : cost_(cost), metrics_(metrics), trace_(trace) {}
@@ -141,6 +153,16 @@ class VolumeControl {
   DiskPack* pack(PackId id);
   const DiskPack* pack(PackId id) const;
   size_t pack_count() const { return packs_.size(); }
+
+  // ReadRecord with the data copy deferred: charges the transfer now (the
+  // simulated cost is position-dependent) and binds the frame to fill from
+  // this record on first touch.
+  void ReadRecordLazy(PackId id, RecordIndex record, PrimaryMemory* memory, FrameIndex frame);
+  void FillPage(uint64_t cookie, std::span<Word> out) const override;
+  Word ReadWordAt(uint64_t cookie, size_t index) const override {
+    return packs_[static_cast<uint16_t>(cookie >> 32)].PeekWord(
+        RecordIndex(static_cast<uint32_t>(cookie)), index);
+  }
 
   // Placement for a new segment: the pack with the most free records that
   // still has a VTOC slot.  kPackFull when no pack has space.

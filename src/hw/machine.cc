@@ -90,6 +90,10 @@ void AssociativeMemory::Insert(uint64_t key, Ptw* ptw, bool read, bool write, bo
       victim = &e;
     }
   }
+  if (victim->valid) {
+    ReleasePtw(victim->ptw);
+  }
+  ++ptw->assoc_refs;
   *victim = Entry{true, key, ptw, read, write, execute, ring_bracket, ++stamp_};
 }
 
@@ -98,6 +102,7 @@ uint32_t AssociativeMemory::InvalidateTag(uint32_t tag) {
   for (Entry& e : slots_) {
     if (e.valid && static_cast<uint32_t>(e.key >> 32) == tag) {
       e.valid = false;
+      ReleasePtw(e.ptw);
       ++dropped;
     }
   }
@@ -109,7 +114,11 @@ uint32_t AssociativeMemory::InvalidatePtw(const Ptw* ptw) {
   for (Entry& e : slots_) {
     if (e.valid && e.ptw == ptw) {
       e.valid = false;
+      ReleasePtw(e.ptw);
       ++dropped;
+      if (ptw->assoc_refs == 0) {
+        break;  // no cache anywhere still holds this PTW
+      }
     }
   }
   return dropped;
@@ -125,6 +134,7 @@ uint32_t AssociativeMemory::InvalidatePageTable(const PageTable* pt) {
   for (Entry& e : slots_) {
     if (e.valid && e.ptw >= first && e.ptw < last) {
       e.valid = false;
+      ReleasePtw(e.ptw);
       ++dropped;
     }
   }
@@ -133,43 +143,70 @@ uint32_t AssociativeMemory::InvalidatePageTable(const PageTable* pt) {
 
 void AssociativeMemory::Flush() {
   for (Entry& e : slots_) {
-    e.valid = false;
+    if (e.valid) {
+      e.valid = false;
+      ReleasePtw(e.ptw);
+    }
   }
 }
 
 PrimaryMemory::PrimaryMemory(uint32_t frame_count, CostModel* cost, Metrics* metrics)
     : frame_count_(frame_count),
       words_(static_cast<size_t>(frame_count) * kPageWords, 0),
+      pending_flag_(frame_count, 0),
+      pending_(frame_count),
       cost_(cost),
       metrics_(metrics),
       id_zero_scans_(metrics->Intern("hw.zero_scans")) {}
 
-Word PrimaryMemory::ReadWord(uint64_t abs_addr) {
-  assert(abs_addr < words_.size());
-  cost_->Charge(CodeStyle::kOptimized, Costs::kMemoryReference);
-  return words_[abs_addr];
+void PrimaryMemory::BindPending(FrameIndex frame, const PageSource* src, uint64_t cookie) {
+  assert(frame.value < frame_count_);
+  pending_flag_[frame.value] = 1;
+  pending_[frame.value] = PendingFill{src, cookie};
 }
 
-void PrimaryMemory::WriteWord(uint64_t abs_addr, Word value) {
-  assert(abs_addr < words_.size());
-  cost_->Charge(CodeStyle::kOptimized, Costs::kMemoryReference);
-  words_[abs_addr] = value;
+void PrimaryMemory::BindPendingZero(FrameIndex frame) {
+  assert(frame.value < frame_count_);
+  pending_flag_[frame.value] = 1;
+  pending_[frame.value] = PendingFill{};
+}
+
+void PrimaryMemory::Materialize(uint32_t frame) {
+  pending_flag_[frame] = 0;
+  const PendingFill fill = pending_[frame];
+  std::span<Word> span(words_.data() + static_cast<size_t>(frame) * kPageWords, kPageWords);
+  if (fill.src != nullptr) {
+    fill.src->FillPage(fill.cookie, span);
+  } else {
+    std::fill(span.begin(), span.end(), 0);
+  }
 }
 
 std::span<Word> PrimaryMemory::FrameSpan(FrameIndex frame) {
   assert(frame.value < frame_count_);
+  if (pending_flag_[frame.value] != 0) {
+    Materialize(frame.value);
+  }
   return std::span<Word>(words_.data() + static_cast<size_t>(frame.value) * kPageWords,
                          kPageWords);
 }
 
-void PrimaryMemory::ZeroFrame(FrameIndex frame) {
-  auto span = FrameSpan(frame);
-  std::fill(span.begin(), span.end(), 0);
+std::span<Word> PrimaryMemory::FrameSpanForOverwrite(FrameIndex frame) {
+  assert(frame.value < frame_count_);
+  pending_flag_[frame.value] = 0;  // every word is about to be written
+  return std::span<Word>(words_.data() + static_cast<size_t>(frame.value) * kPageWords,
+                         kPageWords);
 }
 
+void PrimaryMemory::ZeroFrame(FrameIndex frame) { BindPendingZero(frame); }
+
 bool PrimaryMemory::FrameIsZero(FrameIndex frame) {
+  assert(frame.value < frame_count_);
   cost_->Charge(CodeStyle::kOptimized, Costs::kPageScanPerWord * kPageWords);
   metrics_->Inc(id_zero_scans_);
+  if (pending_flag_[frame.value] != 0 && pending_[frame.value].src == nullptr) {
+    return true;  // pending zero fill: the scan's answer without the scan
+  }
   auto span = FrameSpan(frame);
   return std::all_of(span.begin(), span.end(), [](Word w) { return w == 0; });
 }
@@ -379,8 +416,16 @@ void ProcessorPool::ClearAssociative(Segno segno) {
 }
 
 void ProcessorPool::InvalidateAssociative(const Ptw* ptw) {
-  for (Processor& p : cpus_) {
-    p.InvalidateAssociative(ptw);
+  // The connect is broadcast regardless (the sender cannot know remote cache
+  // contents), but the host-side scan of each cache is skipped once the
+  // presence count says no copies remain.
+  if (ptw->assoc_refs != 0) {
+    for (Processor& p : cpus_) {
+      p.InvalidateAssociative(ptw);
+      if (ptw->assoc_refs == 0) {
+        break;
+      }
+    }
   }
   ChargeConnect();
   if (trace_ != nullptr) {

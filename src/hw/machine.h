@@ -18,6 +18,7 @@
 #ifndef MKS_HW_MACHINE_H_
 #define MKS_HW_MACHINE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -53,6 +54,11 @@ struct Ptw {
   bool locked = false;    // descriptor lock bit (new hardware)
   bool used = false;
   bool modified = false;
+  // Number of associative-memory entries (across every CPU) currently caching
+  // this PTW.  Maintained by AssociativeMemory; lets a broadcast invalidation
+  // skip caches once every cached pairing is gone.  Pure host-side
+  // bookkeeping — never charged, never traced.
+  uint16_t assoc_refs = 0;
 };
 
 // A segment's page table.  In the real system page tables live in the active
@@ -182,8 +188,15 @@ class AssociativeMemory {
               uint8_t ring_bracket);
 
   // Invalidation protocol.  All are O(capacity); invalidation events are
-  // orders of magnitude rarer than lookups.
-  void InvalidateEntry(Entry* entry) { entry->valid = false; }
+  // orders of magnitude rarer than lookups.  Every path that drops a valid
+  // entry gives back its PTW presence count, so `Ptw::assoc_refs == 0` is an
+  // exact "no cache anywhere holds this PTW" test.
+  void InvalidateEntry(Entry* entry) {
+    if (entry->valid) {
+      entry->valid = false;
+      ReleasePtw(entry->ptw);
+    }
+  }
   // Drops every entry whose key's high 32 bits equal `tag` (a segno for the
   // Processor, an AST slot for the baseline).  Returns entries dropped.
   uint32_t InvalidateTag(uint32_t tag);
@@ -201,12 +214,37 @@ class AssociativeMemory {
  private:
   size_t SetBase(uint64_t key) const;
 
+  static void ReleasePtw(Ptw* ptw) {
+    assert(ptw != nullptr && ptw->assoc_refs > 0);
+    --ptw->assoc_refs;
+  }
+
   std::vector<Entry> slots_;  // set_count_ sets of kWays consecutive entries
   size_t set_count_ = 0;
   uint64_t stamp_ = 0;
 };
 
+// Backing store a pending page frame fills from on first touch (the disk
+// volume layer implements it).  FillPage copies the page image behind
+// `cookie` into `out`; ReadWordAt fetches one word of it without the copy —
+// both host-side data movement only, never a cycle charge: the simulated
+// transfer was charged when the frame was bound.
+class PageSource {
+ public:
+  virtual ~PageSource() = default;
+  virtual void FillPage(uint64_t cookie, std::span<Word> out) const = 0;
+  virtual Word ReadWordAt(uint64_t cookie, size_t index) const = 0;
+};
+
 // Primary (core) memory: an array of page frames.
+//
+// A frame may carry a *pending fill*: its contents are defined (a page
+// source's record image, or zeros) but not yet copied in.  The copy happens
+// on first touch — a word access, a span request, a zero scan.  This is a
+// pure host-side optimization: a fault that never leads to a touch (the
+// common case in a storm, where pages bounce in and out of core) never pays
+// the 8KB copy, while every simulated charge is made exactly where it always
+// was (the bind site charges the transfer; word accesses charge references).
 class PrimaryMemory {
  public:
   PrimaryMemory(uint32_t frame_count, CostModel* cost, Metrics* metrics);
@@ -214,10 +252,46 @@ class PrimaryMemory {
   uint32_t frame_count() const { return frame_count_; }
   uint64_t size_words() const { return words_.size(); }
 
-  Word ReadWord(uint64_t abs_addr);
-  void WriteWord(uint64_t abs_addr, Word value);
+  Word ReadWord(uint64_t abs_addr) {
+    assert(abs_addr < words_.size());
+    cost_->Charge(CodeStyle::kOptimized, Costs::kMemoryReference);
+    const uint32_t frame = static_cast<uint32_t>(abs_addr / kPageWords);
+    uint8_t& pf = pending_flag_[frame];
+    if (pf != 0) {
+      // Read through the source for the first few touches: a page that is
+      // faulted in, read once, and evicted never pays the full-page copy.
+      // Past the cap the frame is clearly live; copy once and read directly.
+      if (pf < kReadThroughCap) {
+        ++pf;
+        const PendingFill& fill = pending_[frame];
+        return fill.src != nullptr ? fill.src->ReadWordAt(fill.cookie, abs_addr % kPageWords)
+                                   : 0;
+      }
+      Materialize(frame);
+    }
+    return words_[abs_addr];
+  }
 
+  void WriteWord(uint64_t abs_addr, Word value) {
+    assert(abs_addr < words_.size());
+    cost_->Charge(CodeStyle::kOptimized, Costs::kMemoryReference);
+    const uint32_t frame = static_cast<uint32_t>(abs_addr / kPageWords);
+    if (pending_flag_[frame] != 0) {
+      Materialize(frame);
+    }
+    words_[abs_addr] = value;
+  }
+
+  // Defers `frame`'s fill to first touch: from `src` (BindPending) or zeros
+  // (BindPendingZero).  Replaces any previous binding.
+  void BindPending(FrameIndex frame, const PageSource* src, uint64_t cookie);
+  void BindPendingZero(FrameIndex frame);
+
+  // Span of the frame's words, fill applied.
   std::span<Word> FrameSpan(FrameIndex frame);
+  // Span for callers that overwrite every word (a device copy-in): any
+  // pending fill is cancelled instead of applied.
+  std::span<Word> FrameSpanForOverwrite(FrameIndex frame);
   void ZeroFrame(FrameIndex frame);
   // Scans the frame for the zero-page optimization; charges one cycle per
   // word scanned, which is the cost the paper notes the removal algorithm
@@ -225,8 +299,22 @@ class PrimaryMemory {
   bool FrameIsZero(FrameIndex frame);
 
  private:
+  // pending_flag_ doubles as a touch counter: 0 = no pending fill, else the
+  // frame is pending and the value counts word reads served through the
+  // source; reaching the cap (or any write / span request) materializes.
+  static constexpr uint8_t kReadThroughCap = 9;
+
+  struct PendingFill {
+    const PageSource* src = nullptr;  // nullptr: fill with zeros
+    uint64_t cookie = 0;
+  };
+
+  void Materialize(uint32_t frame);
+
   uint32_t frame_count_;
   std::vector<Word> words_;
+  std::vector<uint8_t> pending_flag_;  // hot one-byte "has a pending fill"
+  std::vector<PendingFill> pending_;
   CostModel* cost_;
   Metrics* metrics_;
   MetricId id_zero_scans_;

@@ -253,7 +253,7 @@ Status PageFrameManager::ServiceMissingPage(PageTable* pt, uint32_t page, PackId
   }
 
   if (!async_) {
-    ctx_->volumes.pack(pack)->ReadRecord(fm.record, ctx_->memory.FrameSpan(frame));
+    ctx_->volumes.ReadRecordLazy(pack, fm.record, &ctx_->memory, frame);
     ptw.frame = frame.value;
     ptw.in_core = true;
     ptw.locked = false;
@@ -378,7 +378,8 @@ void PageFrameManager::CompletePostedRead(FrameIndex frame) {
     // The transfer latency was charged by the dispatch round; the copy is
     // free, like an asynchronous completion.
     const FileMapEntry& fm = entry->file_map[fi.page];
-    ctx_->volumes.pack(fi.pack)->CopyRecord(fm.record, ctx_->memory.FrameSpan(frame));
+    ctx_->volumes.pack(fi.pack)->CopyRecord(fm.record,
+                                            ctx_->memory.FrameSpanForOverwrite(frame));
   }
   Ptw& ptw = fi.pt->ptws[fi.page];
   ptw.frame = frame.value;
@@ -408,7 +409,7 @@ bool PageFrameManager::PageIoDaemonStep() {
       // The transfer latency already elapsed in simulated time; copy the
       // data without re-charging it.
       const FileMapEntry& fm = entry->file_map[fi.page];
-      auto span = ctx_->memory.FrameSpan(completion.frame);
+      auto span = ctx_->memory.FrameSpanForOverwrite(completion.frame);
       ctx_->volumes.pack(fi.pack)->CopyRecord(fm.record, span);
     }
     Ptw& ptw = fi.pt->ptws[fi.page];

@@ -15,10 +15,21 @@
 //
 // Per-CPU counters are interned at construction (smp.cpuK.busy_cycles,
 // smp.cpuK.quanta); Accrue on the stepped path is handle-based only.
+//
+// Selection is O(1): a tournament (winner) tree over the local clocks keeps
+// the least-behind CPU at the root, repaired along one leaf-to-root path on
+// each Accrue.  The tree compares a left child before its right sibling, so
+// equal clocks resolve to the lowest index — exactly the tie-break of the
+// original linear scan.  AdvanceAll shifts a shared base offset instead of
+// every local clock (a uniform delta cannot reorder the pool), and Makespan
+// is a cached running maximum (local clocks never move backward).
 #ifndef MKS_SIM_CPU_SCHED_H_
 #define MKS_SIM_CPU_SCHED_H_
 
+#include <bit>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <string>
 #include <vector>
@@ -42,14 +53,34 @@ class CpuInterleave {
       cpus_.push_back(PerCpu{0, metrics->Intern(prefix + ".busy_cycles"),
                              metrics->Intern(prefix + ".quanta")});
     }
+    leaf_base_ = std::bit_ceil(static_cast<size_t>(cpu_count));
+    tree_.assign(2 * leaf_base_, kNoLeaf);
+    RebuildTree();
   }
 
   uint16_t count() const { return static_cast<uint16_t>(cpus_.size()); }
 
-  // The CPU whose local clock is furthest behind runs the next quantum.
-  uint16_t NextCpu() const {
-    uint16_t best = 0;
-    for (uint16_t k = 1; k < count(); ++k) {
+  // The CPU whose local clock is furthest behind runs the next quantum
+  // (ties: lowest index).  O(1): the tournament root.
+  uint16_t NextCpu() const { return tree_[1]; }
+
+  // Least-behind CPU among those whose bit is set in `mask` (affinity
+  // dispatch).  The mask must intersect the pool; bit k = CPU k.  Iterates
+  // only the set bits, ascending, so ties resolve to the lowest index.
+  uint16_t NextCpuIn(uint32_t mask) const {
+    uint32_t candidates = mask & PoolMask();
+    if (candidates == 0) {
+      std::fprintf(stderr,
+                   "CpuInterleave::NextCpuIn: affinity mask %#x selects no CPU "
+                   "in a pool of %u\n",
+                   mask, static_cast<unsigned>(count()));
+      std::abort();
+    }
+    uint16_t best = static_cast<uint16_t>(std::countr_zero(candidates));
+    candidates &= candidates - 1;
+    while (candidates != 0) {
+      const uint16_t k = static_cast<uint16_t>(std::countr_zero(candidates));
+      candidates &= candidates - 1;
       if (cpus_[k].local < cpus_[best].local) {
         best = k;
       }
@@ -57,67 +88,84 @@ class CpuInterleave {
     return best;
   }
 
-  // Least-behind CPU among those whose bit is set in `mask` (affinity
-  // dispatch).  The mask must intersect the pool; bit k = CPU k.
-  uint16_t NextCpuIn(uint32_t mask) const {
-    uint16_t best = UINT16_MAX;
-    for (uint16_t k = 0; k < count(); ++k) {
-      if (((mask >> k) & 1u) == 0) {
-        continue;
-      }
-      if (best == UINT16_MAX || cpus_[k].local < cpus_[best].local) {
-        best = k;
-      }
-    }
-    return best == UINT16_MAX ? 0 : best;
-  }
-
   // Charges one quantum's worth of busy cycles to `cpu`'s local clock.
   void Accrue(uint16_t cpu, Cycles delta) {
-    cpus_[cpu].local += delta;
-    metrics_->Inc(cpus_[cpu].id_busy_cycles, delta);
-    metrics_->Inc(cpus_[cpu].id_quanta);
+    PerCpu& c = cpus_[cpu];
+    c.local += delta;
+    if (c.local > max_local_) {
+      max_local_ = c.local;
+    }
+    RepairFromLeaf(cpu);
+    metrics_->Inc(c.id_busy_cycles, delta);
+    metrics_->Inc(c.id_quanta);
   }
 
   // Idles the whole pool forward together (every process blocked on a device
-  // completion: wall time passes on all CPUs, busy time on none).
-  void AdvanceAll(Cycles delta) {
-    for (PerCpu& c : cpus_) {
-      c.local += delta;
-    }
-  }
+  // completion: wall time passes on all CPUs, busy time on none).  A uniform
+  // shift preserves the pool order, so only the shared base moves.
+  void AdvanceAll(Cycles delta) { base_ += delta; }
 
   // Aligns every local clock to the furthest-ahead one: a synchronization
   // barrier (e.g. the start of a measured region — earlier CPUs idle until
   // the last one arrives).  Busy-cycle metrics are not affected.
   void AlignAll() {
-    const Cycles m = Makespan();
     for (PerCpu& c : cpus_) {
-      c.local = m;
+      c.local = max_local_;
     }
+    RebuildTree();
   }
 
-  Cycles local_now(uint16_t cpu) const { return cpus_[cpu].local; }
+  Cycles local_now(uint16_t cpu) const { return cpus_[cpu].local + base_; }
 
   // Simulated-parallel completion time: the furthest-ahead local clock.
-  Cycles Makespan() const {
-    Cycles m = 0;
-    for (const PerCpu& c : cpus_) {
-      if (c.local > m) {
-        m = c.local;
-      }
-    }
-    return m;
-  }
+  Cycles Makespan() const { return max_local_ + base_; }
 
  private:
+  static constexpr uint16_t kNoLeaf = UINT16_MAX;
+
   struct PerCpu {
-    Cycles local = 0;
+    Cycles local = 0;  // excludes base_; comparisons never need the offset
     MetricId id_busy_cycles = 0;
     MetricId id_quanta = 0;
   };
+
+  uint32_t PoolMask() const {
+    return count() >= 32 ? ~0u : (1u << count()) - 1u;
+  }
+
+  // Winner of two leaves: the smaller local clock, the left (lower) index on
+  // ties.  `a` is always the left child, so `<=` encodes the tie-break.
+  uint16_t Winner(uint16_t a, uint16_t b) const {
+    if (b == kNoLeaf) {
+      return a;
+    }
+    if (a == kNoLeaf) {
+      return b;
+    }
+    return cpus_[a].local <= cpus_[b].local ? a : b;
+  }
+
+  void RepairFromLeaf(uint16_t cpu) {
+    for (size_t i = (leaf_base_ + cpu) >> 1; i >= 1; i >>= 1) {
+      tree_[i] = Winner(tree_[2 * i], tree_[2 * i + 1]);
+    }
+  }
+
+  void RebuildTree() {
+    for (size_t k = 0; k < leaf_base_; ++k) {
+      tree_[leaf_base_ + k] = k < cpus_.size() ? static_cast<uint16_t>(k) : kNoLeaf;
+    }
+    for (size_t i = leaf_base_ - 1; i >= 1; --i) {
+      tree_[i] = Winner(tree_[2 * i], tree_[2 * i + 1]);
+    }
+  }
+
   std::vector<PerCpu> cpus_;
   Metrics* metrics_;
+  Cycles base_ = 0;       // shared idle offset added to every local clock
+  Cycles max_local_ = 0;  // running maximum of the stored locals
+  size_t leaf_base_ = 1;  // leaves live at tree_[leaf_base_ + k]
+  std::vector<uint16_t> tree_;
 };
 
 // Sharded per-CPU run queues with deterministic work stealing.

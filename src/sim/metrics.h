@@ -29,6 +29,7 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <cassert>
 #include <cmath>
 #include <cstdint>
 #include <map>
@@ -62,9 +63,17 @@ class Metrics {
     return id;
   }
 
-  // Hot path: one array increment.
-  void Inc(MetricId id, uint64_t by = 1) { values_[id] += by; }
-  uint64_t Get(MetricId id) const { return id < values_.size() ? values_[id] : 0; }
+  // Hot path: one array increment.  Both handle forms assert the same bounds
+  // contract: a stale or foreign MetricId is a caller bug, not a silent zero
+  // (Get) or silent corruption (Inc).
+  void Inc(MetricId id, uint64_t by = 1) {
+    assert(id < values_.size());
+    values_[id] += by;
+  }
+  uint64_t Get(MetricId id) const {
+    assert(id < values_.size());
+    return values_[id];
+  }
 
   // String-keyed readback/bump for benches and tests.
   void Inc(std::string_view name, uint64_t by = 1) { values_[Intern(name)] += by; }

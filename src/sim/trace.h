@@ -67,6 +67,14 @@ class Tracer {
     enabled_ = config.enabled;
     capacity_ = config.ring_capacity == 0 ? 1 : config.ring_capacity;
     rings_.assign(cpu_count == 0 ? 1 : cpu_count, Ring{});
+    if (enabled_) {
+      // Preallocate every ring so Push is a store + wrap-increment, never a
+      // push_back; record j (ever pushed) lives at slot j % capacity.
+      for (Ring& r : rings_) {
+        r.slots.assign(capacity_, TraceRecord{});
+      }
+    }
+    RefreshLane();
   }
 
   bool enabled() const { return enabled_; }
@@ -86,8 +94,12 @@ class Tracer {
   std::string_view EventName(TraceEventId id) const { return names_[id]; }
 
   // The scheduler reports which simulated CPU subsequent records belong to
-  // (the sim layer cannot see KernelContext::current_cpu — layering).
-  void SetCpu(uint16_t cpu) { cpu_ = cpu; }
+  // (the sim layer cannot see KernelContext::current_cpu — layering).  The
+  // lane pointer is resolved here, once per quantum, not per record.
+  void SetCpu(uint16_t cpu) {
+    cpu_ = cpu;
+    RefreshLane();
+  }
   uint16_t cpu() const { return cpu_; }
 
   // Point event at the current virtual time on the current CPU.
@@ -169,15 +181,20 @@ class Tracer {
   struct Ring {
     std::vector<TraceRecord> slots;
     uint64_t total = 0;  // records ever pushed; total - kept = dropped
+    uint32_t head = 0;   // next write index == total % capacity
   };
 
+  void RefreshLane() {
+    lane_ = rings_.empty() ? nullptr : &rings_[cpu_ < rings_.size() ? cpu_ : 0];
+  }
+
+  // Only reached while enabled_ (every record entry point gates on it), so
+  // the ring is preallocated and the lane pointer resolved.
   void Push(const TraceRecord& rec) {
-    const uint16_t lane = rec.cpu < rings_.size() ? rec.cpu : 0;
-    Ring& r = rings_[lane];
-    if (r.slots.size() < capacity_) {
-      r.slots.push_back(rec);
-    } else {
-      r.slots[r.total % capacity_] = rec;
+    Ring& r = *lane_;
+    r.slots[r.head] = rec;
+    if (++r.head == capacity_) {
+      r.head = 0;
     }
     r.total++;
   }
@@ -187,6 +204,7 @@ class Tracer {
   bool enabled_ = false;
   uint32_t capacity_ = 4096;
   uint16_t cpu_ = 0;
+  Ring* lane_ = nullptr;  // rings_[cpu_], cached by SetCpu/Enable
   std::vector<std::string> names_;
   std::vector<Ring> rings_;
 };

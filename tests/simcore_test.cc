@@ -1,0 +1,380 @@
+// Tests for the flattened simulator core (the host-throughput refactor).
+//
+// The refactor's contract is byte-identical virtual-time output: the
+// tournament-tree dispatcher, the pooled event queue, and the lazy page fill
+// are host-side reorganizations only.  Three layers of evidence:
+//  * unit — the O(1) min-structure agrees with a reference linear scan under
+//    arbitrary Accrue/AdvanceAll/AlignAll/masked-query sequences (the
+//    reference IS the old dispatcher, so this is old-vs-new selection);
+//  * unit — the pooled event queue keeps FIFO tie-break order, survives
+//    closures past the inline buffer, and recycles slots;
+//  * end-to-end — double runs of the P11/P12/P13 workload shapes at 1, 4,
+//    and 16 CPUs produce byte-identical counter snapshots and trace exports.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/sim/cpu_sched.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/metrics.h"
+#include "src/sim/trace.h"
+#include "tests/kernel_fixture.h"
+
+namespace mks {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CpuInterleave: tournament tree vs the reference linear scan.
+// ---------------------------------------------------------------------------
+
+// The pre-refactor dispatcher: per-CPU absolute clocks, linear scans.
+struct ReferenceInterleave {
+  explicit ReferenceInterleave(uint16_t n) : locals(n, 0) {}
+
+  uint16_t NextCpu() const {
+    uint16_t best = 0;
+    for (uint16_t k = 1; k < locals.size(); ++k) {
+      if (locals[k] < locals[best]) {
+        best = k;
+      }
+    }
+    return best;
+  }
+  uint16_t NextCpuIn(uint32_t mask) const {
+    uint16_t best = UINT16_MAX;
+    for (uint16_t k = 0; k < locals.size(); ++k) {
+      if (((mask >> k) & 1u) == 0) {
+        continue;
+      }
+      if (best == UINT16_MAX || locals[k] < locals[best]) {
+        best = k;
+      }
+    }
+    return best;
+  }
+  void Accrue(uint16_t cpu, Cycles delta) { locals[cpu] += delta; }
+  void AdvanceAll(Cycles delta) {
+    for (Cycles& c : locals) {
+      c += delta;
+    }
+  }
+  void AlignAll() {
+    const Cycles m = Makespan();
+    for (Cycles& c : locals) {
+      c = m;
+    }
+  }
+  Cycles Makespan() const {
+    Cycles m = 0;
+    for (Cycles c : locals) {
+      m = std::max(m, c);
+    }
+    return m;
+  }
+
+  std::vector<Cycles> locals;
+};
+
+void ExpectAgreement(const CpuInterleave& tree, const ReferenceInterleave& ref,
+                     uint32_t some_mask) {
+  ASSERT_EQ(tree.count(), ref.locals.size());
+  EXPECT_EQ(tree.NextCpu(), ref.NextCpu());
+  EXPECT_EQ(tree.Makespan(), ref.Makespan());
+  for (uint16_t k = 0; k < tree.count(); ++k) {
+    EXPECT_EQ(tree.local_now(k), ref.locals[k]) << "cpu " << k;
+  }
+  const uint32_t pool = tree.count() >= 32 ? ~0u : (1u << tree.count()) - 1u;
+  if ((some_mask & pool) != 0) {
+    EXPECT_EQ(tree.NextCpuIn(some_mask), ref.NextCpuIn(some_mask & pool));
+  }
+}
+
+TEST(CpuInterleaveTree, MatchesReferenceScanUnderMixedOps) {
+  for (uint16_t cpus : {1, 2, 3, 4, 7, 8, 16}) {
+    Metrics metrics;
+    CpuInterleave tree(cpus, &metrics);
+    ReferenceInterleave ref(cpus);
+    std::mt19937 rng(12345u + cpus);
+    for (int step = 0; step < 500; ++step) {
+      const uint32_t pick = rng() % 100;
+      if (pick < 70) {
+        const uint16_t cpu = static_cast<uint16_t>(rng() % cpus);
+        const Cycles delta = rng() % 1000;
+        tree.Accrue(cpu, delta);
+        ref.Accrue(cpu, delta);
+      } else if (pick < 85) {
+        const Cycles delta = rng() % 500;
+        tree.AdvanceAll(delta);
+        ref.AdvanceAll(delta);
+      } else {
+        tree.AlignAll();
+        ref.AlignAll();
+      }
+      ExpectAgreement(tree, ref, rng());
+    }
+  }
+}
+
+TEST(CpuInterleaveTree, TiesResolveToLowestIndex) {
+  Metrics metrics;
+  CpuInterleave tree(4, &metrics);
+  EXPECT_EQ(tree.NextCpu(), 0u);  // all zero: lowest index wins
+  tree.Accrue(0, 10);
+  EXPECT_EQ(tree.NextCpu(), 1u);
+  tree.Accrue(1, 10);
+  tree.Accrue(2, 10);
+  tree.Accrue(3, 10);
+  EXPECT_EQ(tree.NextCpu(), 0u);  // tied again at 10
+  EXPECT_EQ(tree.NextCpuIn(0b1100), 2u);  // tie inside the mask: lowest set bit
+}
+
+TEST(CpuInterleaveTree, AlignAllSynchronizesToMakespan) {
+  Metrics metrics;
+  CpuInterleave tree(3, &metrics);
+  tree.Accrue(1, 100);
+  tree.Accrue(2, 40);
+  EXPECT_EQ(tree.Makespan(), 100u);
+  tree.AlignAll();
+  for (uint16_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(tree.local_now(k), 100u);
+  }
+  EXPECT_EQ(tree.NextCpu(), 0u);
+  tree.AdvanceAll(7);
+  EXPECT_EQ(tree.Makespan(), 107u);
+  EXPECT_EQ(tree.local_now(2), 107u);
+}
+
+TEST(CpuInterleaveTree, MaskedQuerySelectsLeastBehindWithinMask) {
+  Metrics metrics;
+  CpuInterleave tree(4, &metrics);
+  tree.Accrue(0, 5);
+  tree.Accrue(1, 50);
+  tree.Accrue(2, 20);
+  tree.Accrue(3, 30);
+  EXPECT_EQ(tree.NextCpu(), 0u);
+  EXPECT_EQ(tree.NextCpuIn(0b1110), 2u);  // 0 excluded: 2 is least behind
+  EXPECT_EQ(tree.NextCpuIn(0b1010), 3u);
+  // Mask bits beyond the pool are ignored as long as one real CPU is set.
+  EXPECT_EQ(tree.NextCpuIn(0xFFF0u | 0b0100), 2u);
+}
+
+TEST(CpuInterleaveDeathTest, NonIntersectingMaskAborts) {
+  Metrics metrics;
+  CpuInterleave tree(2, &metrics);
+  EXPECT_DEATH(tree.NextCpuIn(0), "selects no CPU");
+  EXPECT_DEATH(tree.NextCpuIn(0b100), "selects no CPU");
+}
+
+// ---------------------------------------------------------------------------
+// EventQueue: pooled closures.
+// ---------------------------------------------------------------------------
+
+TEST(EventQueuePool, LargeCapturesFallBackToHeapAndStillRun) {
+  EventQueue queue;
+  struct Big {
+    char payload[128];
+    int* sink;
+  };
+  int fired = 0;
+  Big big{};
+  big.payload[0] = 42;
+  big.sink = &fired;
+  static_assert(sizeof(Big) > 48, "test needs an over-inline-buffer capture");
+  queue.Schedule(10, [big] { *big.sink += big.payload[0]; });
+  EXPECT_EQ(queue.RunDue(10), 1u);
+  EXPECT_EQ(fired, 42);
+}
+
+TEST(EventQueuePool, SlotsRecycleAcrossManyRounds) {
+  EventQueue queue;
+  uint64_t sum = 0;
+  // Far more events than one slab (64 slots), scheduled and drained in
+  // waves, so slots must be recycled for the pool not to grow unboundedly.
+  for (int wave = 0; wave < 50; ++wave) {
+    for (int i = 0; i < 100; ++i) {
+      queue.Schedule(static_cast<Cycles>(wave * 100 + i), [&sum, i] { sum += i; });
+    }
+    EXPECT_EQ(queue.RunDue((wave + 1) * 100), 100u);
+  }
+  EXPECT_EQ(sum, 50u * 4950u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueuePool, FifoOrderSurvivesInterleavedScheduleAndRun) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.Schedule(10, [&] {
+    order.push_back(0);
+    // Scheduled mid-run at the same due time: must run after everything
+    // already queued for t=10 (later sequence number).
+    queue.Schedule(10, [&] { order.push_back(3); });
+  });
+  queue.Schedule(10, [&] { order.push_back(1); });
+  queue.Schedule(10, [&] { order.push_back(2); });
+  EXPECT_EQ(queue.RunDue(10), 4u);
+  ASSERT_EQ(order.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: double-run byte-equality across the P11/P12/P13 shapes.
+// ---------------------------------------------------------------------------
+
+struct Snapshot {
+  std::map<std::string, uint64_t, std::less<>> counters;
+  std::string trace_json;
+  Cycles clock = 0;
+  Cycles makespan = 0;
+  bool ok = false;
+
+  friend bool operator==(const Snapshot& a, const Snapshot& b) {
+    return a.ok && b.ok && a.counters == b.counters && a.trace_json == b.trace_json &&
+           a.clock == b.clock && a.makespan == b.makespan;
+  }
+};
+
+enum class Shape { kFaultStorm, kSharedStorm, kRunQueueMix };
+
+// One run of a P11/P12/P13-shaped workload, everything observable captured.
+Snapshot RunShape(Shape shape, uint16_t cpus) {
+  Snapshot out;
+  KernelConfig config;
+  config.memory_frames = 64;
+  config.records_per_pack = 8192;
+  config.cpu_count = cpus;
+  config.vp_count = 6;
+  config.trace.enabled = true;
+  if (shape == Shape::kSharedStorm) {
+    config.async_paging = true;  // P12: in-flight transfers keep PTWs locked
+  }
+  if (shape == Shape::kRunQueueMix) {
+    config.sharded_runqueues = true;  // P13: sharded queues + stealing,
+    config.steal = true;              // charged interconnect
+    config.connect_cost = 40;
+  }
+  Kernel kernel{config};
+  if (!kernel.Boot().ok()) {
+    return out;
+  }
+  PathWalker walker(&kernel.gates());
+  const uint32_t processes = shape == Shape::kFaultStorm ? 4 : 6;
+  std::vector<ProcessId> pids;
+  std::vector<ProcContext*> ctxs;
+  for (uint32_t i = 0; i < processes; ++i) {
+    auto pid = kernel.processes().CreateProcess(TestSubject("U" + std::to_string(i)));
+    if (!pid.ok()) {
+      return out;
+    }
+    pids.push_back(*pid);
+    ctxs.push_back(kernel.processes().Context(*pid));
+  }
+  if (shape == Shape::kSharedStorm) {
+    // P12: everyone sweeps one shared segment, staggered starts.
+    constexpr uint32_t kSharedPages = 24;
+    auto entry = walker.CreateSegment(*ctxs[0], ">work>shared", WorldAcl(), Label::SystemLow());
+    if (!entry.ok()) {
+      return out;
+    }
+    for (uint32_t i = 0; i < processes; ++i) {
+      auto segno = kernel.gates().Initiate(*ctxs[i], *entry);
+      if (!segno.ok()) {
+        return out;
+      }
+      if (i == 0) {
+        for (uint32_t p = 0; p < kSharedPages; ++p) {
+          (void)kernel.gates().Write(*ctxs[0], *segno, p * kPageWords, p + 1);
+        }
+      }
+      std::vector<UserOp> program;
+      const uint32_t start = i * (kSharedPages / processes);
+      for (uint32_t r = 0; r < 2; ++r) {
+        for (uint32_t p = 0; p < kSharedPages; ++p) {
+          program.push_back(UserOp::Read(*segno, ((start + p) % kSharedPages) * kPageWords));
+        }
+      }
+      (void)kernel.processes().SetProgram(pids[i], std::move(program));
+    }
+  } else {
+    for (uint32_t i = 0; i < processes; ++i) {
+      auto entry = walker.CreateSegment(*ctxs[i], ">work>p" + std::to_string(i), WorldAcl(),
+                                        Label::SystemLow());
+      if (!entry.ok()) {
+        return out;
+      }
+      auto segno = kernel.gates().Initiate(*ctxs[i], *entry);
+      if (!segno.ok()) {
+        return out;
+      }
+      std::vector<UserOp> program;
+      if (shape == Shape::kFaultStorm) {
+        // P11: 4 x 24 pages > 64 frames, every touch faults.
+        for (uint32_t p = 0; p < 24; ++p) {
+          (void)kernel.gates().Write(*ctxs[i], *segno, p * kPageWords, p + 1);
+        }
+        for (uint32_t r = 0; r < 2; ++r) {
+          for (uint32_t p = 0; p < 24; ++p) {
+            program.push_back(UserOp::Read(*segno, p * kPageWords));
+          }
+        }
+      } else {
+        // P13: compute + paged writes, enough churn to exercise the queues.
+        for (uint32_t n = 0; n < 60; ++n) {
+          if (n % 3 == 0) {
+            program.push_back(UserOp::Compute(25));
+          } else {
+            program.push_back(UserOp::Write(*segno, (n % 8) * kPageWords + n, n * 7 + i));
+          }
+        }
+      }
+      (void)kernel.processes().SetProgram(pids[i], std::move(program));
+    }
+  }
+  kernel.ctx().smp.AlignAll();
+  if (!kernel.processes().RunUntilQuiescent(8000000).ok()) {
+    return out;
+  }
+  out.counters = kernel.metrics().counters();
+  out.trace_json = TraceExporter::Export(kernel.ctx().trace);
+  out.clock = kernel.clock().now();
+  out.makespan = kernel.ctx().smp.Makespan();
+  out.ok = true;
+  return out;
+}
+
+class ShapeDeterminism : public ::testing::TestWithParam<std::tuple<Shape, uint16_t>> {};
+
+TEST_P(ShapeDeterminism, DoubleRunIsByteIdentical) {
+  const auto [shape, cpus] = GetParam();
+  const Snapshot a = RunShape(shape, cpus);
+  const Snapshot b = RunShape(shape, cpus);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_TRUE(a.counters == b.counters);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_EQ(a.clock, b.clock);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_GT(a.counters.at("hw.translations"), 0u);  // the run did real work
+}
+
+std::string ShapeParamName(const ::testing::TestParamInfo<std::tuple<Shape, uint16_t>>& info) {
+  const Shape shape = std::get<0>(info.param);
+  const char* name = shape == Shape::kFaultStorm    ? "FaultStorm"
+                     : shape == Shape::kSharedStorm ? "SharedStorm"
+                                                    : "RunQueueMix";
+  return std::string(name) + "_" + std::to_string(std::get<1>(info.param)) + "cpu";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    P11P12P13, ShapeDeterminism,
+    ::testing::Combine(::testing::Values(Shape::kFaultStorm, Shape::kSharedStorm,
+                                         Shape::kRunQueueMix),
+                       ::testing::Values(uint16_t{1}, uint16_t{4}, uint16_t{16})),
+    ShapeParamName);
+
+}  // namespace
+}  // namespace mks
