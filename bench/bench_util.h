@@ -76,6 +76,10 @@ inline void EmitJson(const JsonLine& line) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
   JsonLine with_fields = line;
   with_fields.Field("host_ns", ns);
+  // The raw tally lets a collector distinguish a bench that legitimately
+  // never advanced virtual time (host-level microbenchmarks) from one whose
+  // throughput wiring is broken: advanced > 0 with rate 0 is always a bug.
+  with_fields.Field("sim_cycles_advanced", Clock::total_advanced());
   with_fields.Field("sim_cycles_per_host_sec",
                     ns == 0 ? uint64_t{0}
                             : static_cast<uint64_t>(static_cast<double>(Clock::total_advanced()) /

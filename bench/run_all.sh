@@ -56,6 +56,23 @@ for src in "${ROOT}"/bench/bench_perf_*.cc; do
   echo "${output}" | grep '^{' >> "${OUT}" || true
 done
 
+# A result row that advanced virtual time but reports zero simulated
+# throughput means the host-throughput wiring is broken (the PR 6 eventcounts
+# row slipped through exactly this way before sim_cycles_advanced existed).
+# Rows without host fields (MKS_BENCH_NO_HOST=1) and genuinely host-level
+# benches (sim_cycles_advanced 0) are exempt.
+while IFS= read -r line; do
+  case "${line}" in
+    *'"sim_cycles_per_host_sec": 0'*)
+      adv="$(printf '%s' "${line}" | sed -n 's/.*"sim_cycles_advanced": \([0-9]*\).*/\1/p')"
+      if [ -n "${adv}" ] && [ "${adv}" -gt 0 ]; then
+        echo "FAILED (zero sim_cycles_per_host_sec after advancing ${adv} cycles): ${line}" >&2
+        failures=$((failures + 1))
+      fi
+      ;;
+  esac
+done < "${OUT}"
+
 echo
 echo "collected $(wc -l < "${OUT}") result lines into ${OUT}"
 exit "${failures}"

@@ -80,6 +80,19 @@ struct BaselineConfig {
   // byte-identical to the plain test-and-set model.
   bool ticket_lock = false;
   Cycles ticket_handoff_cost = 48;
+  // Handoff-traffic policy for the global lock (see src/sync/spinlock.h):
+  // kTestAndSet reproduces the historical free-for-all byte-for-byte;
+  // kTicket charges each waiter one line transfer per handoff it observed
+  // (the O(waiters) now-serving broadcast); kAnderson/kMcs charge exactly
+  // one transfer per contended handoff (per-waiter spin lines).  When set,
+  // this supersedes the legacy ticket_lock knob.
+  LockPolicy lock_policy = LockPolicy::kTestAndSet;
+  // Cycles per cache-line transfer for the policy charges (the baseline has
+  // no interconnect model of its own, so the lock carries its own price).
+  Cycles lock_transfer_cost = 48;
+  // kAnderson's spin-array size; 0 = cpu_count.  More distinct CPUs than
+  // slots aborts loudly rather than wrapping.
+  uint16_t anderson_slots = 0;
 };
 
 // Baseline module names (the six boxes of Figure 2).
@@ -152,6 +165,7 @@ class MonolithicSupervisor {
   uint64_t global_lock_handoffs() const { return global_lock_.handoffs(); }
   Cycles global_lock_handoff_cycles() const { return global_lock_.handoff_cycles(); }
   Cycles global_lock_max_spin() const { return global_lock_.max_spin(); }
+  uint64_t global_lock_max_queue_depth() const { return global_lock_.max_queue_depth(); }
 
   // Simulated-parallel completion time across the pool (equals clock() time
   // elapsed since construction when cpu_count is 1).

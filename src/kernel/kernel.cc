@@ -29,8 +29,8 @@ Kernel::Kernel(const KernelConfig& config)
   uproc_ = std::make_unique<UserProcessManager>(ctx_.get(), core_segs_.get(), vpm_.get(),
                                                 pfm_.get(), segs_.get(), ksm_.get(),
                                                 gates_.get());
-  uproc_->ConfigureDispatch(
-      {config.sharded_runqueues, config.steal, config.connect_cost});
+  uproc_->ConfigureDispatch({config.sharded_runqueues, config.steal, config.connect_cost,
+                             config.lock_policy, config.anderson_slots});
 }
 
 Kernel::~Kernel() = default;

@@ -52,6 +52,17 @@ struct KernelConfig {
   // a vp state record, or a process's working set migrates between CPUs.
   // 0 keeps all of that free (the legacy model).
   Cycles connect_cost = 0;
+  // Handoff-traffic policy for the scheduler locks (global ready-list lock
+  // and each sharded run-queue lock): how much interconnect traffic one
+  // contended lock handoff generates, priced in connect_cost line transfers.
+  // kTestAndSet (default) charges nothing — byte-identical to the
+  // pre-policy lock; kTicket charges each waiter one transfer per handoff it
+  // sat through (the O(waiters) now-serving broadcast); kAnderson and kMcs
+  // charge exactly one transfer per handoff (per-waiter spin lines).
+  LockPolicy lock_policy = LockPolicy::kTestAndSet;
+  // kAnderson's spin-array size; 0 = cpu_count.  More distinct CPUs than
+  // slots aborts loudly (the real lock would wrap its index silently).
+  uint16_t anderson_slots = 0;
   uint64_t root_quota = 1u << 20;
   Label root_label = Label::SystemLow();
   // Default: world-usable root, so examples/tests can build a hierarchy.

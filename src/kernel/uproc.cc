@@ -33,9 +33,18 @@ UserProcessManager::UserProcessManager(KernelContext* ctx, CoreSegmentManager* c
 
 void UserProcessManager::ConfigureDispatch(const DispatchConfig& config) {
   dcfg_ = config;
+  // One policy knob covers every scheduler lock: the handoff charge is one
+  // (Anderson/MCS) or one-per-waiter (ticket) line transfers at connect_cost.
+  const LockPolicyConfig lock_policy{
+      dcfg_.lock_policy, dcfg_.connect_cost,
+      dcfg_.anderson_slots != 0 ? dcfg_.anderson_slots : ctx_->smp.count()};
+  if (dcfg_.lock_policy != LockPolicy::kTestAndSet) {
+    list_lock_.Configure(lock_policy);
+  }
   if (dcfg_.sharded_runqueues) {
     rq_ = std::make_unique<RunQueueSet>(ctx_->smp.count(), dcfg_.steal, dcfg_.connect_cost,
-                                        &ctx_->cost, &ctx_->metrics, &ctx_->trace);
+                                        &ctx_->cost, &ctx_->metrics, &ctx_->trace,
+                                        lock_policy);
   }
 }
 
@@ -254,7 +263,7 @@ void UserProcessManager::TouchReadyList(uint16_t cpu, Cycles lnow) {
   // the dispatch decision and queue manipulation (kDispatchHold), which is
   // what serializes dispatch-rate-bound workloads.
   constexpr Cycles kDispatchHold = 440;  // ~ (kVpSwitch + kProcessSwitch) structured
-  const Cycles spin = list_lock_.Acquire(lnow);
+  const Cycles spin = list_lock_.Acquire(lnow, cpu);
   Cycles held = spin;
   if (spin > 0) {
     ctx_->cost.Charge(CodeStyle::kOptimized, spin);

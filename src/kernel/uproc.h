@@ -66,6 +66,11 @@ struct DispatchConfig {
   bool sharded_runqueues = false;
   bool steal = false;
   Cycles connect_cost = 0;
+  // Handoff-traffic policy for every scheduler lock (the global ready-list
+  // lock and, in sharded mode, each run-queue shard's lock); contended
+  // handoffs are priced in units of connect_cost line transfers.
+  LockPolicy lock_policy = LockPolicy::kTestAndSet;
+  uint16_t anderson_slots = 0;  // kAnderson array size; 0 = cpu_count
 };
 
 class UserProcessManager {
@@ -101,6 +106,10 @@ class UserProcessManager {
 
   // The sharded run queues, or nullptr in legacy (global-list) mode.
   const RunQueueSet* run_queues() const { return rq_.get(); }
+
+  // The modelled global ready-list lock (contended only in legacy dispatch
+  // mode with interconnect costs on), for lock-policy sweeps.
+  const SimSpinLock& list_lock() const { return list_lock_; }
 
   // Runs the two-level scheduler until every process is done/aborted or
   // `max_passes` scheduler passes elapse.  Returns kOk on quiescence.

@@ -26,6 +26,7 @@
 #ifndef MKS_SIM_CPU_SCHED_H_
 #define MKS_SIM_CPU_SCHED_H_
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <cstdio>
@@ -196,7 +197,8 @@ class RunQueueSet {
   static constexpr uint16_t kNoCpu = UINT16_MAX;
 
   RunQueueSet(uint16_t cpu_count, bool steal, Cycles connect_cost, CostModel* cost,
-              Metrics* metrics, Tracer* trace)
+              Metrics* metrics, Tracer* trace,
+              const LockPolicyConfig& lock_policy = LockPolicyConfig{})
       : steal_(steal),
         connect_cost_(connect_cost),
         cost_(cost),
@@ -221,8 +223,31 @@ class RunQueueSet {
       s.id_pops = metrics->Intern(prefix + ".pops");
       s.id_lock_spin_cycles = metrics->Intern(prefix + ".lock_spin_cycles");
       s.hist_depth = metrics->InternHistogram(prefix + ".depth");
+      s.lock.Configure(lock_policy);
       shards_.push_back(std::move(s));
     }
+  }
+
+  // Shard-lock counters summed across the set, for policy-sweep reporting.
+  struct LockTotals {
+    uint64_t acquisitions = 0;
+    uint64_t contended = 0;
+    Cycles spin_cycles = 0;
+    uint64_t handoffs = 0;
+    Cycles handoff_cycles = 0;
+    uint64_t max_queue_depth = 0;
+  };
+  LockTotals AggregateLockTotals() const {
+    LockTotals t;
+    for (const Shard& s : shards_) {
+      t.acquisitions += s.lock.acquisitions();
+      t.contended += s.lock.contended();
+      t.spin_cycles += s.lock.total_spin();
+      t.handoffs += s.lock.handoffs();
+      t.handoff_cycles += s.lock.handoff_cycles();
+      t.max_queue_depth = std::max(t.max_queue_depth, s.lock.max_queue_depth());
+    }
+    return t;
   }
 
   struct Popped {
@@ -388,7 +413,7 @@ class RunQueueSet {
   // must Release at `lnow + held`.
   Cycles TouchShard(Shard& s, uint16_t from_cpu, Cycles lnow) {
     const Cycles spin_begin = trace_->Begin();
-    const Cycles spin = s.lock.Acquire(lnow);
+    const Cycles spin = s.lock.Acquire(lnow, from_cpu);
     Cycles held = spin;
     if (spin > 0) {
       cost_->Charge(CodeStyle::kOptimized, spin);

@@ -1,4 +1,4 @@
-// A spin lock in simulated time, for the baseline's global page-table lock.
+// A spin lock in simulated time, with pluggable waiter-handoff policies.
 //
 // The baseline supervisor has no descriptor lock bit, so colliding
 // processors busy-wait at one global lock.  Under deterministic interleaving
@@ -14,44 +14,117 @@
 // observe `free_at_` in its future and the spin is structurally zero — the
 // uniprocessor cost sequence is untouched.
 //
-// Ticket mode: the default grant order is the arrival order of quanta, which
-// in this simulator is already a total order — the serialized dispatch means
-// spinners are granted one at a time and can never overtake each other, so a
-// FIFO ticket lock grants in the *same* order.  What a ticket lock changes on
-// real hardware is the cost per handoff: the lock word migrates to exactly
-// one waiter's cache per release (instead of a free-for-all), so every
-// contended grant pays one cache-line transfer before the new holder
-// proceeds.  ConfigureTicket models that: each contended acquisition adds a
-// fixed handoff cost to the returned spin, and the handoffs are counted
-// separately so fairness traffic is visible next to raw spin.  Uncontended
-// acquisitions are unchanged — the line is already resident.
+// On top of that waiting-time model sits a *handoff traffic* model, selected
+// by LockPolicy (the Mellor-Crummey & Scott progression).  Who runs next is
+// unchanged — the serialized simulation already grants the lock in a total
+// (FIFO) order — what differs between policies is the interconnect traffic a
+// contended handoff generates, charged as extra cycles on top of the gap:
 //
-// The kernel side deliberately has no counterpart: colliding references hit
-// the descriptor lock bit and park on the page's eventcount via the
-// lock-address register, giving the processor away instead of spinning.
+//   kTestAndSet — the traffic-blind model every prior PR measured against:
+//     the gap is charged, line bouncing is not.  Default; byte-identical to
+//     the pre-policy lock.
+//   kTicket — all waiters spin on one `now_serving` word, so every release
+//     invalidates the line in EVERY waiter's cache.  A waiter that sat
+//     through k handoffs re-fetched the line k times: its acquire pays
+//     k line transfers.  Summed over waiters this is the classic
+//     O(waiters)-per-handoff broadcast.
+//   kAnderson — an array lock: each waiter spins on its own slot, and the
+//     releasing holder writes exactly one successor slot, so a contended
+//     acquire pays exactly one line transfer regardless of queue depth.
+//     The array is statically sized; more distinct CPUs than slots is a
+//     hard error (the real lock would silently wrap and corrupt), so the
+//     lock aborts loudly instead.
+//   kMcs — a queue lock: each waiter spins on its own queue node and the
+//     holder writes its successor's node.  Same O(1) handoff charge as
+//     Anderson, but the queue is built from per-CPU nodes, so there is no
+//     array bound.
+//
+// Grant (handoff) order is the arrival order of quanta in every policy —
+// already a total order here — so switching policy never changes who runs
+// next, only what the handoff costs.  That keeps the sweep apples-to-apples:
+// one knob, identical schedules, different interconnect bills.
+//
+// ConfigureTicket is the PR 5 legacy ticket model (one fixed handoff charge
+// per contended grant, used by BaselineConfig::ticket_lock); it is preserved
+// byte-for-byte.  Configure(LockPolicyConfig) is the policy suite and takes
+// precedence when both are set.
 #ifndef MKS_SYNC_SPINLOCK_H_
 #define MKS_SYNC_SPINLOCK_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
 
 #include "src/sim/clock.h"
 
 namespace mks {
 
+enum class LockPolicy : uint8_t { kTestAndSet, kTicket, kAnderson, kMcs };
+
+inline const char* LockPolicyName(LockPolicy policy) {
+  switch (policy) {
+    case LockPolicy::kTestAndSet:
+      return "tas";
+    case LockPolicy::kTicket:
+      return "ticket";
+    case LockPolicy::kAnderson:
+      return "anderson";
+    case LockPolicy::kMcs:
+      return "mcs";
+  }
+  return "?";
+}
+
+struct LockPolicyConfig {
+  LockPolicy policy = LockPolicy::kTestAndSet;
+  // Cycles for one cache-line transfer across the interconnect (the same
+  // quantity KernelConfig::connect_cost prices elsewhere).  0 makes every
+  // policy cost-free — useful for schedule-equivalence checks.
+  Cycles line_transfer_cost = 0;
+  // kAnderson only: slots in the spin array.  Must be >= the number of
+  // distinct CPUs that will ever touch the lock; callers resolve 0 to the
+  // pool size before configuring.
+  uint16_t anderson_slots = 0;
+};
+
 class SimSpinLock {
  public:
-  // Switches the lock to ticket (FIFO handoff) mode: every contended
-  // acquisition additionally pays `handoff_cost` cycles for the line
-  // transfer to the next ticket holder.  Call before first use.
+  // Selects the handoff-traffic policy.  Call before first use; takes
+  // precedence over ConfigureTicket.  kAnderson requires anderson_slots > 0.
+  void Configure(const LockPolicyConfig& config) {
+    policy_ = config.policy;
+    line_transfer_cost_ = config.line_transfer_cost;
+    anderson_slots_ = config.anderson_slots;
+    if (policy_ == LockPolicy::kAnderson && anderson_slots_ == 0) {
+      std::fprintf(stderr, "SimSpinLock: Anderson policy needs anderson_slots > 0\n");
+      std::abort();
+    }
+    if (policy_ != LockPolicy::kTestAndSet) {
+      ticket_ = false;  // the policy suite replaces the legacy ticket model
+    }
+  }
+
+  // Legacy (PR 5) ticket mode: every contended acquisition additionally pays
+  // a fixed `handoff_cost` cycles for the line transfer to the next ticket
+  // holder.  Call before first use.  Kept byte-identical for
+  // BaselineConfig::ticket_lock; the policy suite's kTicket instead charges
+  // per observed handoff (the O(waiters) broadcast).
   void ConfigureTicket(bool enabled, Cycles handoff_cost) {
     ticket_ = enabled;
     handoff_cost_ = handoff_cost;
   }
 
-  // Acquires at local virtual time `local_now`; returns the spin cycles the
-  // acquiring CPU burns before the lock comes free (0 when uncontended).
-  Cycles Acquire(Cycles local_now) {
+  // Acquires at local virtual time `local_now` from CPU `cpu`; returns the
+  // spin cycles the acquiring CPU burns before the lock comes free plus the
+  // policy's handoff-traffic charge (0 when uncontended: the line is already
+  // resident and no handoff happened).
+  Cycles Acquire(Cycles local_now, uint16_t cpu = 0) {
     ++acquisitions_;
+    if (policy_ == LockPolicy::kAnderson) {
+      NoteAndersonCpu(cpu);
+    }
     Cycles spin = 0;
     if (free_at_ > local_now) {
       spin = free_at_ - local_now;
@@ -60,6 +133,27 @@ class SimSpinLock {
         spin += handoff_cost_;
         handoff_cycles_ += handoff_cost_;
         ++handoffs_;
+      } else if (policy_ != LockPolicy::kTestAndSet) {
+        // Handoffs this waiter sat through: recorded releases inside its
+        // wait window (local_now, free_at_] — at least one, the grant to us.
+        const uint64_t observed = GrantsSince(local_now);
+        if (observed + 1 > max_queue_depth_) {
+          max_queue_depth_ = observed + 1;
+        }
+        Cycles transfer = 0;
+        if (policy_ == LockPolicy::kTicket) {
+          // Every observed release invalidated our copy of now_serving; we
+          // re-fetched the line each time.
+          transfer = static_cast<Cycles>(observed) * line_transfer_cost_;
+          handoffs_ += observed;
+        } else {
+          // Anderson/MCS: the releasing holder wrote our private slot/node —
+          // exactly one line moved, however deep the queue was.
+          transfer = line_transfer_cost_;
+          ++handoffs_;
+        }
+        spin += transfer;
+        handoff_cycles_ += transfer;
       }
       total_spin_ += spin;
       if (spin > max_spin_) {
@@ -77,27 +171,75 @@ class SimSpinLock {
     if (local_now > free_at_) {
       free_at_ = local_now;
     }
+    if (policy_ != LockPolicy::kTestAndSet) {
+      // The grant log the policies read: release points, monotone because
+      // free_at_ never moves backward.  Bounded; a waiter whose window
+      // reaches past the oldest kept entry undercounts (saturates), which
+      // only ever under-charges the ticket broadcast.
+      grants_.push_back(free_at_);
+      if (grants_.size() > kGrantHistory) {
+        grants_.pop_front();
+      }
+    }
   }
 
   bool held() const { return held_; }
+  LockPolicy policy() const { return policy_; }
   uint64_t acquisitions() const { return acquisitions_; }
   uint64_t contended() const { return contended_; }
   Cycles total_spin() const { return total_spin_; }
   Cycles max_spin() const { return max_spin_; }
   uint64_t handoffs() const { return handoffs_; }
   Cycles handoff_cycles() const { return handoff_cycles_; }
+  // Deepest observed wait queue (holder + waiters serviced inside one wait
+  // window).  Can exceed the CPU count: a far-behind waiter's window spans
+  // re-acquisitions by CPUs that cycled through more than once.
+  uint64_t max_queue_depth() const { return max_queue_depth_; }
 
  private:
+  static constexpr size_t kGrantHistory = 4096;
+
+  uint64_t GrantsSince(Cycles since) const {
+    return static_cast<uint64_t>(
+        grants_.end() - std::upper_bound(grants_.begin(), grants_.end(), since));
+  }
+
+  // Anderson's static array admits one slot per CPU; a new CPU beyond the
+  // array is the over-subscription bug class the real lock hits by silently
+  // wrapping its index.  Fail loudly instead.
+  void NoteAndersonCpu(uint16_t cpu) {
+    const uint64_t bit = 1ull << (cpu & 63);
+    if ((anderson_cpus_ & bit) == 0) {
+      anderson_cpus_ |= bit;
+      if (++anderson_cpu_count_ > anderson_slots_) {
+        std::fprintf(stderr,
+                     "SimSpinLock: Anderson array over-subscribed: CPU %u is the "
+                     "%u-th distinct CPU on a %u-slot array\n",
+                     static_cast<unsigned>(cpu),
+                     static_cast<unsigned>(anderson_cpu_count_),
+                     static_cast<unsigned>(anderson_slots_));
+        std::abort();
+      }
+    }
+  }
+
   Cycles free_at_ = 0;
   bool held_ = false;
-  bool ticket_ = false;
+  bool ticket_ = false;  // legacy fixed-handoff ticket mode (PR 5)
+  LockPolicy policy_ = LockPolicy::kTestAndSet;
   Cycles handoff_cost_ = 0;
+  Cycles line_transfer_cost_ = 0;
+  uint16_t anderson_slots_ = 0;
+  uint16_t anderson_cpu_count_ = 0;
+  uint64_t anderson_cpus_ = 0;
   uint64_t acquisitions_ = 0;
   uint64_t contended_ = 0;
   Cycles total_spin_ = 0;
   Cycles max_spin_ = 0;
   uint64_t handoffs_ = 0;
   Cycles handoff_cycles_ = 0;
+  uint64_t max_queue_depth_ = 0;
+  std::deque<Cycles> grants_;
 };
 
 }  // namespace mks
