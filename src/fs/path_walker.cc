@@ -4,6 +4,11 @@
 
 namespace mks {
 
+static_assert(GateOpIsRead(GateOp::kSearch), "path resolution is read-side");
+static_assert(!GateOpIsRead(GateOp::kCreateDirectory) && !GateOpIsRead(GateOp::kCreateSegment) &&
+                  !GateOpIsRead(GateOp::kInitiate),
+              "creation and initiation are write-side");
+
 std::vector<std::string> PathWalker::Split(const std::string& path) {
   std::vector<std::string> components;
   std::istringstream stream(path);
@@ -19,6 +24,7 @@ std::vector<std::string> PathWalker::Split(const std::string& path) {
 Result<EntryId> PathWalker::Walk(ProcContext& ctx, const std::string& path) {
   EntryId current = gates_->RootId();
   for (const std::string& component : Split(path)) {
+    Count(GateOp::kSearch);
     auto next = gates_->Search(ctx, current, component);
     if (!next.ok()) {
       return next.status();  // only an accessible directory says kNoEntry
@@ -30,6 +36,7 @@ Result<EntryId> PathWalker::Walk(ProcContext& ctx, const std::string& path) {
 
 Result<Segno> PathWalker::Initiate(ProcContext& ctx, const std::string& path) {
   MKS_ASSIGN_OR_RETURN(EntryId target, Walk(ctx, path));
+  Count(GateOp::kInitiate);
   return gates_->Initiate(ctx, target);
 }
 
@@ -37,6 +44,7 @@ Result<EntryId> PathWalker::CreateDirectories(ProcContext& ctx, const std::strin
                                               Acl acl, Label label) {
   EntryId current = gates_->RootId();
   for (const std::string& component : Split(path)) {
+    Count(GateOp::kSearch);
     auto next = gates_->Search(ctx, current, component);
     if (next.ok()) {
       current = *next;
@@ -45,6 +53,7 @@ Result<EntryId> PathWalker::CreateDirectories(ProcContext& ctx, const std::strin
     if (next.code() != Code::kNoEntry) {
       return next.status();
     }
+    Count(GateOp::kCreateDirectory);
     MKS_ASSIGN_OR_RETURN(current, gates_->CreateDirectory(ctx, current, component, acl, label));
   }
   return current;
@@ -62,6 +71,7 @@ Result<EntryId> PathWalker::CreateSegment(ProcContext& ctx, const std::string& p
     dir_path += ">" + components[i];
   }
   MKS_ASSIGN_OR_RETURN(EntryId dir, CreateDirectories(ctx, dir_path, acl, label));
+  Count(GateOp::kCreateSegment);
   return gates_->CreateSegment(ctx, dir, leaf, acl, label);
 }
 

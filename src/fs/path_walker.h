@@ -18,7 +18,19 @@ namespace mks {
 
 class PathWalker {
  public:
+  // Read/write attribution of the walker's gate crossings, classified with
+  // GateOpIsRead: every Search a walk issues is a read-side crossing, every
+  // create/initiate is write-side.  This is the user-ring half of the
+  // read-mostly split — a resolution is reads all the way down, so the
+  // 1000:1 mixes the kernel's naming locks see start here.
+  struct GateMix {
+    uint64_t read_calls = 0;
+    uint64_t write_calls = 0;
+  };
+
   explicit PathWalker(KernelGates* gates) : gates_(gates) {}
+
+  const GateMix& gate_mix() const { return mix_; }
 
   // Splits ">a>b>c" into components.
   static std::vector<std::string> Split(const std::string& path);
@@ -38,7 +50,10 @@ class PathWalker {
                                     Label label);
 
  private:
+  void Count(GateOp op) { (GateOpIsRead(op) ? mix_.read_calls : mix_.write_calls)++; }
+
   KernelGates* gates_;
+  GateMix mix_;
 };
 
 }  // namespace mks

@@ -58,6 +58,23 @@ struct KernelContext {
   // in-flight reference (fault dispatch, wakeup-waiting, DSBR binding) uses
   // this; descriptor mutations use the broadcast forms on `cpus`.
   Processor& cpu() { return cpus.cpu(current_cpu); }
+
+  // The current work window's virtual-time anchor.  Per-CPU local clocks
+  // (smp) only advance when a window's charges are accrued at its end, so
+  // mid-window code cannot read its own local "now" from smp alone.  The
+  // dispatcher calls AnchorWindow() when it selects a CPU; LocalNow() is
+  // then the CPU's local clock at window start plus the global-clock
+  // progress charged since — the local time the in-flight computation has
+  // actually reached.  With the default anchor (0, 0), LocalNow() equals the
+  // global clock: correct for directly driven work, where one computation
+  // runs at a time and the clock is globally monotone.
+  Cycles window_anchor_local = 0;
+  Cycles window_anchor_global = 0;
+  void AnchorWindow() {
+    window_anchor_local = smp.local_now(current_cpu);
+    window_anchor_global = clock.now();
+  }
+  Cycles LocalNow() const { return window_anchor_local + (clock.now() - window_anchor_global); }
 };
 
 // Canonical module names used in both the declared lattice and the runtime

@@ -17,7 +17,9 @@ DirectoryManager::DirectoryManager(KernelContext* ctx, QuotaCellManager* quota,
       id_entries_deleted_(ctx->metrics.Intern("dir.entries_deleted")),
       id_renames_(ctx->metrics.Intern("dir.renames")),
       id_quota_designations_(ctx->metrics.Intern("dir.quota_designations")),
-      id_moves_completed_(ctx->metrics.Intern("dir.moves_completed")) {}
+      id_moves_completed_(ctx->metrics.Intern("dir.moves_completed")) {
+  rmi_.Init(ctx, "dir");
+}
 
 SegmentUid DirectoryManager::NewUid() {
   // Unique identifiers are unguessable values drawn from a keyed hash so
@@ -56,6 +58,7 @@ Status DirectoryManager::CheckModifyDir(const Subject& subject, DirectoryRec& di
 
 Status DirectoryManager::InitRoot(Label label, Acl acl, uint64_t quota_limit) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
   if (root_.value != 0) {
     return Status(Code::kAlreadyExists, "root exists");
   }
@@ -87,6 +90,7 @@ Status DirectoryManager::InitRoot(Label label, Acl acl, uint64_t quota_limit) {
 Result<EntryId> DirectoryManager::Search(const Subject& subject, EntryId dir_id,
                                          std::string_view name) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kRead, rmi_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kProcedureCall * 2);
   ctx_->metrics.Inc(id_searches_);
   DirectoryRec* dir = FindDir(dir_id);
@@ -186,6 +190,7 @@ Status DirectoryManager::CreateEntryCommon(const Subject& subject, EntryId dir_i
 Result<EntryId> DirectoryManager::CreateSegmentEntry(const Subject& subject, EntryId dir,
                                                      std::string name, Acl acl, Label label) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
   DirEntryRec* entry = nullptr;
   DirectoryRec* parent = nullptr;
   MKS_RETURN_IF_ERROR(CreateEntryCommon(subject, dir, std::move(name), std::move(acl), label,
@@ -196,6 +201,7 @@ Result<EntryId> DirectoryManager::CreateSegmentEntry(const Subject& subject, Ent
 Result<EntryId> DirectoryManager::CreateDirectoryEntry(const Subject& subject, EntryId dir,
                                                        std::string name, Acl acl, Label label) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
   DirEntryRec* entry = nullptr;
   DirectoryRec* parent = nullptr;
   MKS_RETURN_IF_ERROR(CreateEntryCommon(subject, dir, std::move(name), std::move(acl), label,
@@ -225,6 +231,7 @@ Result<EntryId> DirectoryManager::CreateDirectoryEntry(const Subject& subject, E
 Status DirectoryManager::DeleteEntry(const Subject& subject, EntryId dir_id,
                                      std::string_view name) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
   DirectoryRec* dir = FindDir(dir_id);
   if (dir == nullptr) {
     return Status(Code::kNoAccess, "delete in unresolvable directory");
@@ -272,6 +279,7 @@ Status DirectoryManager::DeleteEntry(const Subject& subject, EntryId dir_id,
 Status DirectoryManager::RenameEntry(const Subject& subject, EntryId dir_id,
                                      std::string_view old_name, std::string new_name) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
   DirectoryRec* dir = FindDir(dir_id);
   if (dir == nullptr) {
     return Status(Code::kNoAccess, "rename in unresolvable directory");
@@ -304,6 +312,7 @@ Status DirectoryManager::RenameEntry(const Subject& subject, EntryId dir_id,
 Status DirectoryManager::SetAcl(const Subject& subject, EntryId dir_id, std::string_view name,
                                 Acl acl) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
   DirectoryRec* dir = FindDir(dir_id);
   if (dir == nullptr) {
     return Status(Code::kNoAccess, "setacl in unresolvable directory");
@@ -326,6 +335,7 @@ Status DirectoryManager::SetAcl(const Subject& subject, EntryId dir_id, std::str
 Status DirectoryManager::ListNames(const Subject& subject, EntryId dir_id,
                                    std::vector<std::string>* out) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kRead, rmi_);
   DirectoryRec* dir = FindDir(dir_id);
   if (dir == nullptr || !CanObserveDir(subject, *dir)) {
     ctx_->monitor.Audit(subject, "list", "?", Code::kNoAccess);
@@ -341,6 +351,7 @@ Status DirectoryManager::ListNames(const Subject& subject, EntryId dir_id,
 
 Status DirectoryManager::SetQuota(const Subject& subject, EntryId dir_id, uint64_t limit) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
   DirectoryRec* dir = FindDir(dir_id);
   if (dir == nullptr) {
     return Status(Code::kNoAccess, "setquota on unresolvable directory");
@@ -377,6 +388,7 @@ Status DirectoryManager::SetQuota(const Subject& subject, EntryId dir_id, uint64
 
 Status DirectoryManager::RemoveQuota(const Subject& subject, EntryId dir_id) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
   DirectoryRec* dir = FindDir(dir_id);
   if (dir == nullptr) {
     return Status(Code::kNoAccess, "removequota on unresolvable directory");
@@ -414,6 +426,7 @@ Status DirectoryManager::RemoveQuota(const Subject& subject, EntryId dir_id) {
 
 Result<QuotaStatus> DirectoryManager::GetQuota(const Subject& subject, EntryId dir_id) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kRead, rmi_);
   DirectoryRec* dir = FindDir(dir_id);
   if (dir == nullptr || !CanObserveDir(subject, *dir)) {
     return Status(Code::kNoAccess, "getquota");
@@ -429,6 +442,7 @@ Result<QuotaStatus> DirectoryManager::GetQuota(const Subject& subject, EntryId d
 
 Result<EntryInfo> DirectoryManager::ResolveForInitiate(const Subject& subject, EntryId target) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kRead, rmi_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kProcedureCall * 2);
   const SegmentUid uid(target.value);
   auto parent_it = parent_of_.find(uid);
@@ -486,6 +500,7 @@ Result<EntryInfo> DirectoryManager::ResolveForInitiate(const Subject& subject, E
 }
 
 void DirectoryManager::AuditQuotaIntegrity(std::vector<std::string>* findings) {
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kRead, rmi_);
   // Recompute, from the packs' tables of contents, the records actually used
   // by every object each quota cell governs, and compare with the cached
   // counts.  Storage charged but not used (or used but not charged) is
@@ -539,6 +554,7 @@ void DirectoryManager::AuditQuotaIntegrity(std::vector<std::string>* findings) {
 Status DirectoryManager::CompleteSegmentMove(SegmentUid uid, PackId new_pack,
                                              VtocIndex new_vtoc) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
   auto parent_it = parent_of_.find(uid);
   if (parent_it == parent_of_.end()) {
     return Status(Code::kNotFound, "moved segment has no directory entry");

@@ -62,12 +62,29 @@ struct EntryInfo {
   Label label;
 };
 
+// Read/write classification of the directory surface (the read-mostly
+// refactor):
+//
+//   reads  — Search, ListNames, GetQuota, ResolveForInitiate,
+//            AuditQuotaIntegrity: walks and status observations.
+//   writes — InitRoot, CreateSegmentEntry, CreateDirectoryEntry, DeleteEntry,
+//            RenameEntry, SetAcl, SetQuota, RemoveQuota, CompleteSegmentMove:
+//            they mutate entries, ACLs, or the quota designation.
+//
+// Each public entry point runs inside a SharedSection over the hierarchy's
+// SimSharedLock; with ReadPolicy::kOff (the default) the sections are inert
+// and the manager is byte-identical to its pre-lock behaviour.
+// IsRealDirectory stays an unlocked snapshot read (a single map probe).
 class DirectoryManager {
  public:
   static constexpr int kEntriesPerPage = 16;
 
   DirectoryManager(KernelContext* ctx, QuotaCellManager* quota, SegmentManager* segs,
                    AddressSpaceManager* spaces);
+
+  // Selects the read-mostly policy for the hierarchy lock (called by Kernel).
+  void ConfigureReadMostly(const SharedLockConfig& config) { rml_.Configure(config); }
+  const SimSharedLock& naming_lock() const { return rml_; }
 
   // Creates the root directory (">") with the given quota limit; the root is
   // always a quota directory.
@@ -152,6 +169,10 @@ class DirectoryManager {
   QuotaCellManager* quota_;
   SegmentManager* segs_;
   AddressSpaceManager* spaces_;
+  // The hierarchy lock and its instruments; mutable so const status reads
+  // could join the protocol without shedding their constness.
+  mutable SimSharedLock rml_;
+  ReadMostlyInstruments rmi_;
   MetricId id_searches_;
   MetricId id_mythical_results_;
   MetricId id_entries_created_;

@@ -31,6 +31,14 @@ Kernel::Kernel(const KernelConfig& config)
                                                 gates_.get());
   uproc_->ConfigureDispatch({config.sharded_runqueues, config.steal, config.connect_cost,
                              config.lock_policy, config.anderson_slots});
+  // The read-mostly naming locks: one per manager, same policy and pricing.
+  // Cross-CPU traffic (token revocation, epoch publish) is priced at
+  // connect_cost, the interconnect's line-transfer figure everywhere else.
+  const SharedLockConfig read_mostly{config.read_policy, config.connect_cost,
+                                     config.epoch_grace_cost, config.cpu_count};
+  dirs_->ConfigureReadMostly(read_mostly);
+  ksm_->ConfigureReadMostly(read_mostly);
+  gates_->EnableReadWriteTagging(config.read_policy != ReadPolicy::kOff);
 }
 
 Kernel::~Kernel() = default;

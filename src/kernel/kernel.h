@@ -63,6 +63,20 @@ struct KernelConfig {
   // kAnderson's spin-array size; 0 = cpu_count.  More distinct CPUs than
   // slots aborts loudly (the real lock would wrap its index silently).
   uint16_t anderson_slots = 0;
+  // Read-mostly synchronization for the naming surface: the directory
+  // hierarchy and the known segment tables each sit behind one SimSharedLock
+  // whose read-side protocol this selects.  kOff (default) leaves the naming
+  // paths un-modeled — byte-identical to every prior PR.  kExclusive guards
+  // every naming operation, read or write, with one exclusive lock
+  // (SimSpinLock's waiting-time arithmetic): the "every lookup serializes
+  // like a write" baseline.  kPassiveRw gives each CPU a passive read token
+  // (contended reads free of line transfers; writers revoke at connect_cost
+  // per remote reader CPU).  kEpoch gives readers a zero-cost epoch pin
+  // (writers publish one broadcast and wait out the grace period).
+  ReadPolicy read_policy = ReadPolicy::kOff;
+  // kEpoch only: cycles a writer spends on quiescence detection after its
+  // publish, on top of draining the read sections in flight.
+  Cycles epoch_grace_cost = 0;
   uint64_t root_quota = 1u << 20;
   Label root_label = Label::SystemLow();
   // Default: world-usable root, so examples/tests can build a hierarchy.

@@ -12,10 +12,13 @@ KnownSegmentManager::KnownSegmentManager(KernelContext* ctx, SegmentManager* seg
       id_terminates_(ctx->metrics.Intern("ksm.terminates")),
       id_segment_faults_(ctx->metrics.Intern("ksm.segment_faults")),
       id_quota_exceptions_(ctx->metrics.Intern("ksm.quota_exceptions")),
-      id_full_pack_moves_(ctx->metrics.Intern("ksm.full_pack_moves")) {}
+      id_full_pack_moves_(ctx->metrics.Intern("ksm.full_pack_moves")) {
+  rmi_.Init(ctx, "ksm");
+}
 
 Status KnownSegmentManager::CreateKst(ProcessId pid) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
   if (ksts_.count(pid) != 0) {
     return Status(Code::kAlreadyExists, "KST exists");
   }
@@ -30,6 +33,7 @@ Status KnownSegmentManager::CreateKst(ProcessId pid) {
 
 Status KnownSegmentManager::DestroyKst(ProcessId pid) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
   auto it = ksts_.find(pid);
   if (it == ksts_.end()) {
     return Status(Code::kNotFound, "no KST");
@@ -42,6 +46,7 @@ Status KnownSegmentManager::DestroyKst(ProcessId pid) {
 Result<Segno> KnownSegmentManager::Initiate(ProcessId pid, const SegmentHome& home,
                                             AccessModes modes, uint8_t ring_bracket) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kProcedureCall * 2);
   auto it = ksts_.find(pid);
   if (it == ksts_.end()) {
@@ -66,6 +71,7 @@ Result<Segno> KnownSegmentManager::Initiate(ProcessId pid, const SegmentHome& ho
 
 Status KnownSegmentManager::Terminate(ProcessId pid, Segno segno) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
   KstEntry* entry = Find(pid, segno);
   if (entry == nullptr || !entry->valid) {
     return Status(Code::kInvalidSegno, "segment not known");
@@ -81,6 +87,7 @@ Status KnownSegmentManager::Terminate(ProcessId pid, Segno segno) {
 }
 
 const KstEntry* KnownSegmentManager::Lookup(ProcessId pid, Segno segno) const {
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kRead, rmi_);
   auto it = ksts_.find(pid);
   if (it == ksts_.end() || segno.value < kSystemSegnoLimit) {
     return nullptr;
@@ -93,6 +100,7 @@ const KstEntry* KnownSegmentManager::Lookup(ProcessId pid, Segno segno) const {
 }
 
 Result<Segno> KnownSegmentManager::SegnoOf(ProcessId pid, SegmentUid uid) const {
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kRead, rmi_);
   auto it = ksts_.find(pid);
   if (it == ksts_.end()) {
     return Status(Code::kNotFound, "no KST");
@@ -119,6 +127,7 @@ KstEntry* KnownSegmentManager::Find(ProcessId pid, Segno segno) {
 
 Status KnownSegmentManager::HandleSegmentFault(ProcessId pid, Segno segno) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kRead, rmi_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kFaultEntry);
   KstEntry* entry = Find(pid, segno);
   if (entry == nullptr || !entry->valid) {
@@ -135,6 +144,7 @@ Status KnownSegmentManager::HandleSegmentFault(ProcessId pid, Segno segno) {
 Status KnownSegmentManager::HandleMissingPage(ProcessId pid, Segno segno, uint32_t page,
                                               WaitSpec* wait) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kRead, rmi_);
   KstEntry* entry = Find(pid, segno);
   if (entry == nullptr || !entry->valid) {
     return Status(Code::kInvalidSegno, "page fault on unknown segment");
@@ -148,7 +158,8 @@ Status KnownSegmentManager::HandleMissingPage(ProcessId pid, Segno segno, uint32
   return segs_->ServiceMissingPage(ast, page, pid, wait);
 }
 
-void KnownSegmentManager::RehomeEverywhere(SegmentUid uid, PackId pack, VtocIndex vtoc) {
+void KnownSegmentManager::RelocateUid(SegmentUid uid, PackId pack, VtocIndex vtoc) {
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
   for (auto& [pid, kst] : ksts_) {
     for (KstEntry& entry : kst.entries) {
       if (entry.valid && entry.home.uid == uid) {
@@ -162,6 +173,7 @@ void KnownSegmentManager::RehomeEverywhere(SegmentUid uid, PackId pack, VtocInde
 Status KnownSegmentManager::HandleQuotaException(ProcessId pid, Segno segno, uint32_t page,
                                                  MoveSignal* signal, WaitSpec* wait) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kFaultEntry);
   ctx_->metrics.Inc(id_quota_exceptions_);
   (void)wait;
@@ -185,7 +197,7 @@ Status KnownSegmentManager::HandleQuotaException(ProcessId pid, Segno segno, uin
   ctx_->metrics.Inc(id_full_pack_moves_);
   spaces_->DisconnectEverywhere(home.uid);
   MKS_ASSIGN_OR_RETURN(SegmentManager::NewHome new_home, segs_->Relocate(ast));
-  RehomeEverywhere(home.uid, new_home.pack, new_home.vtoc);
+  RelocateUid(home.uid, new_home.pack, new_home.vtoc);
   MKS_RETURN_IF_ERROR(segs_->GrowSegment(ast, page));
   if (signal != nullptr) {
     signal->valid = true;

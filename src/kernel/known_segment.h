@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/kernel/address_space.h"
+#include "src/kernel/shared_section.h"
 
 namespace mks {
 
@@ -49,9 +50,24 @@ struct MoveSignal {
   VtocIndex new_vtoc{};
 };
 
+// Read/write classification of the KST surface (the read-mostly refactor):
+//
+//   reads  — Lookup, SegnoOf, HandleSegmentFault, HandleMissingPage: they
+//            read a process's bindings and act through lower-level managers,
+//            which keep their own serialization.
+//   writes — CreateKst, DestroyKst, Initiate, Terminate, RelocateUid,
+//            HandleQuotaException: they mutate KST entries or the table set.
+//
+// Each public entry point runs inside a SharedSection over one SimSharedLock
+// shared by every KST; with ReadPolicy::kOff (the default) the sections are
+// inert and the manager is byte-identical to its pre-lock behaviour.
 class KnownSegmentManager {
  public:
   KnownSegmentManager(KernelContext* ctx, SegmentManager* segs, AddressSpaceManager* spaces);
+
+  // Selects the read-mostly policy for the KST lock (called by Kernel).
+  void ConfigureReadMostly(const SharedLockConfig& config) { rml_.Configure(config); }
+  const SimSharedLock& kst_lock() const { return rml_; }
 
   Status CreateKst(ProcessId pid);
   Status DestroyKst(ProcessId pid);
@@ -65,6 +81,12 @@ class KnownSegmentManager {
   const KstEntry* Lookup(ProcessId pid, Segno segno) const;
   // Finds the segno a process has bound to `uid`, if any.
   Result<Segno> SegnoOf(ProcessId pid, SegmentUid uid) const;
+
+  // After a relocation, rewrites every process's KST binding for `uid` to
+  // the new home — the write side of the KST surface.  Public so the
+  // relocation chain (and tests) can drive it against concurrent Lookups;
+  // HandleQuotaException invokes it on the full-pack path.
+  void RelocateUid(SegmentUid uid, PackId pack, VtocIndex vtoc);
 
   // --- exception dispatch (invoked by the gate layer's fault loop) ---
 
@@ -88,13 +110,15 @@ class KnownSegmentManager {
   };
 
   KstEntry* Find(ProcessId pid, Segno segno);
-  // After a relocation, every KST entry naming `uid` must learn the new home.
-  void RehomeEverywhere(SegmentUid uid, PackId pack, VtocIndex vtoc);
 
   KernelContext* ctx_;
   ModuleId self_;
   SegmentManager* segs_;
   AddressSpaceManager* spaces_;
+  // The KST lock and its instruments; mutable because the read side
+  // (Lookup, SegnoOf) is const.
+  mutable SimSharedLock rml_;
+  ReadMostlyInstruments rmi_;
   MetricId id_initiates_;
   MetricId id_terminates_;
   MetricId id_segment_faults_;

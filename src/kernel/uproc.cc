@@ -393,6 +393,7 @@ bool UserProcessManager::DispatchGlobal() {
     const uint16_t cpu = mask == 0 ? ctx_->smp.NextCpu() : ctx_->smp.NextCpuIn(mask);
     ctx_->current_cpu = cpu;
     ctx_->trace.SetCpu(cpu);
+    ctx_->AnchorWindow();
     const Cycles dispatch_start = ctx_->clock.now();
     if (sched_costs_on()) {
       TouchReadyList(cpu, ctx_->smp.local_now(cpu));
@@ -431,6 +432,7 @@ bool UserProcessManager::DispatchSharded() {
     for (uint16_t cpu : order) {
       ctx_->current_cpu = cpu;
       ctx_->trace.SetCpu(cpu);
+      ctx_->AnchorWindow();
       const Cycles dispatch_start = ctx_->clock.now();
       const RunQueueSet::Popped pop = rq_->Dequeue(cpu, ctx_->smp.local_now(cpu));
       if (!pop.ok) {
@@ -482,6 +484,7 @@ bool UserProcessManager::SchedulerPass() {
   // on the bootload CPU, as on the real machine.
   ctx_->current_cpu = 0;
   ctx_->trace.SetCpu(0);
+  ctx_->AnchorWindow();
   const Cycles level1_start = ctx_->clock.now();
   ctx_->events.RunDue(ctx_->clock.now());
   if (vpm_->RunKernelTasks()) {
@@ -549,6 +552,7 @@ Status UserProcessManager::RunUntilQuiescent(uint64_t max_passes) {
         // Completion handlers are level-1 work on the bootload CPU.
         ctx_->current_cpu = 0;
         ctx_->trace.SetCpu(0);
+        ctx_->AnchorWindow();
         const Cycles completion_start = ctx_->clock.now();
         ctx_->events.RunDue(ctx_->clock.now());
         if (const Cycles d = ctx_->clock.now() - completion_start; d > 0) {
