@@ -12,7 +12,7 @@ namespace mks {
 namespace {
 
 Cycles RunLoginStorm(ServiceDomain domain, int users, int sessions_per_user) {
-  Kernel kernel{KernelConfig{}};
+  Kernel kernel{ArmWatchdog(KernelConfig{})};
   if (!kernel.Boot().ok()) {
     return 0;
   }

@@ -139,7 +139,7 @@ LockResult RunMixed(LockPolicy policy, uint16_t cpus, uint32_t ops) {
   config.vp_count = 6;
   config.connect_cost = 800;
   config.lock_policy = policy;
-  Kernel kernel{config};
+  Kernel kernel{ArmWatchdog(config)};
   if (!kernel.Boot().ok()) {
     return out;
   }

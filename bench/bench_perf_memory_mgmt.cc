@@ -104,7 +104,7 @@ RunResult RunKernel(uint32_t frames, const std::vector<Ref>& trace, uint32_t seg
   config.memory_frames = frames;
   config.records_per_pack = 8192;
   config.async_paging = async;
-  Kernel kernel{config};
+  Kernel kernel{ArmWatchdog(config)};
   RunResult result;
   if (!kernel.Boot().ok()) {
     return result;

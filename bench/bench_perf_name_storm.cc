@@ -29,9 +29,13 @@
 // the line-transfer economy.  A bit-identical double-run self-check guards
 // determinism.
 //
-// Usage: bench_perf_name_storm [--smoke]
+// Usage: bench_perf_name_storm [--smoke] [--profile]
 //   --smoke: cpus {1,4}, ~10x fewer ops; skips the 16-CPU verdict but keeps
 //            the double-run self-check; always exits 0.
+//   --profile: enable the cycle-accounting profiler; each run prints a
+//            top-domain breakdown table and emits a `name_storm_prof` JSON
+//            line, and the exclusive policy at the largest pool exports
+//            bench_perf_name_storm.prof.folded (flamegraph collapsed stacks).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -98,7 +102,8 @@ struct StormResult {
 // Drives `ops` naming operations round-robin across the pool: each op runs
 // on the furthest-behind CPU in its own anchored window and its global-clock
 // delta is accrued there, so sections genuinely overlap in virtual time.
-StormResult RunStorm(ReadPolicy policy, uint16_t cpus, uint32_t ops) {
+StormResult RunStorm(ReadPolicy policy, uint16_t cpus, uint32_t ops, bool profile = false,
+                     const char* folded_path = nullptr) {
   StormResult out;
   KernelConfig config;
   config.memory_frames = 256;
@@ -107,6 +112,8 @@ StormResult RunStorm(ReadPolicy policy, uint16_t cpus, uint32_t ops) {
   config.connect_cost = 400;  // prices token revocation and the epoch publish
   config.read_policy = policy;
   config.epoch_grace_cost = 600;
+  config.profile.enabled = profile;
+  config.profile.stall_rounds = kBenchStallRounds;
   Kernel kernel{config};
   if (!kernel.Boot().ok()) {
     return out;
@@ -162,6 +169,10 @@ StormResult RunStorm(ReadPolicy policy, uint16_t cpus, uint32_t ops) {
     kctx.current_cpu = cpu;
     kctx.trace.SetCpu(cpu);
     kctx.AnchorWindow();
+    // Each op is one accrual window; the window closes (and attributes) after
+    // the Accrue below, at the end of the iteration.  Everything inside goes
+    // through the gate layer, so the root is the gate domain.
+    Prof::Window window(&kctx.prof, cpu, ProfDomain::kGate);
     const Cycles t0 = kernel.clock().now();
     if (i % kWritePeriod == kWritePeriod - 1) {
       const std::string name = "s" + std::to_string(i % kLibSegments);
@@ -187,6 +198,17 @@ StormResult RunStorm(ReadPolicy policy, uint16_t cpus, uint32_t ops) {
   out.AddLock(kernel.known_segments().kst_lock());
   out.gate_reads = walker.gate_mix().read_calls;
   out.gate_writes = walker.gate_mix().write_calls;
+  if (profile) {
+    char title[96];
+    std::snprintf(title, sizeof title, "%s @ %u cpus", ReadPolicyName(policy), cpus);
+    PrintProfileTable(kctx.prof, title);
+    JsonLine pline("name_storm_prof");
+    pline.Field("policy", ReadPolicyName(policy)).Field("cpus", uint64_t{cpus});
+    EmitJson(FieldProfDomains(pline, kctx.prof));
+    if (folded_path != nullptr) {
+      WriteFolded(kctx.prof, folded_path);
+    }
+  }
   out.ok = true;
   return out;
 }
@@ -197,9 +219,12 @@ StormResult RunStorm(ReadPolicy policy, uint16_t cpus, uint32_t ops) {
 int main(int argc, char** argv) {
   using namespace mks;
   bool smoke = false;
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     }
   }
   const std::vector<uint16_t> cpu_counts =
@@ -217,7 +242,11 @@ int main(int argc, char** argv) {
     const ReadPolicy policy = kPolicies[pi];
     Cycles m1 = 0;
     for (uint16_t cpus : cpu_counts) {
-      const StormResult r = RunStorm(policy, cpus, ops);
+      const bool want_folded =
+          profile && policy == ReadPolicy::kExclusive && cpus == max_cpus;
+      const StormResult r =
+          RunStorm(policy, cpus, ops, profile,
+                   want_folded ? "bench_perf_name_storm.prof.folded" : nullptr);
       if (!r.ok) {
         std::fprintf(stderr, "run failed (%s, %u cpus)\n", ReadPolicyName(policy), cpus);
         return 1;

@@ -59,7 +59,7 @@ double KernelFaultCost(uint64_t* locked_waits, AssocStats* assoc) {
   KernelConfig config;
   config.memory_frames = 64;
   config.records_per_pack = 8192;
-  Kernel kernel{config};
+  Kernel kernel{ArmWatchdog(config)};
   if (!kernel.Boot().ok()) {
     return -1;
   }

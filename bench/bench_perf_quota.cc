@@ -47,7 +47,7 @@ double KernelGrowthCost(uint32_t depth, uint32_t growths) {
   config.memory_frames = 2048;
   config.records_per_pack = 8192;
   config.ast_slots = 128;
-  Kernel kernel{config};
+  Kernel kernel{ArmWatchdog(config)};
   if (!kernel.Boot().ok()) {
     return -1;
   }

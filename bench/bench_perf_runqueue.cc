@@ -22,12 +22,18 @@
 // line transfer plus the lock-held dispatch window per quantum and the
 // sharded queues pay only for steals and cross-CPU re-homes.
 //
-// Usage: bench_perf_runqueue [--smoke] [--trace]
+// Usage: bench_perf_runqueue [--smoke] [--trace] [--profile]
 //   --smoke: tiny sweep (1 round, cpus {1,4}, costs {0,800}) with the tracer
 //            on; exports bench_perf_runqueue.trace.json; always exits 0
 //   --trace: enable the tracer in the full sweep (steal spans, queue-depth
 //            histograms, per-queue lock spin) and export the 4-CPU max-cost
-//            sharded+steal fault storm as bench_perf_runqueue.trace.json
+//            sharded+steal fault storm as bench_perf_runqueue.trace.json;
+//            result lines gain `trace_dropped` and each traced run emits a
+//            `runqueue_hist` line with every populated histogram
+//   --profile: enable the cycle-accounting profiler; each run prints a
+//            top-domain breakdown table and emits a `runqueue_prof` JSON
+//            line; the sharded+steal 4-CPU max-cost fault storm exports
+//            bench_perf_runqueue.prof.folded (flamegraph collapsed stacks)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -63,6 +69,7 @@ struct RqResult {
   uint64_t connect_signals = 0;
   uint64_t vp_migrations = 0;
   uint64_t proc_migrations = 0;
+  uint64_t trace_dropped = 0;  // ring records lost; reported when tracing
   bool ok = false;
 };
 
@@ -78,7 +85,7 @@ void CaptureCounters(const Metrics& metrics, RqResult* out) {
 }
 
 KernelConfig MakeConfig(const Mode& mode, uint16_t cpus, Cycles connect_cost,
-                        uint32_t frames, bool trace) {
+                        uint32_t frames, bool trace, bool profile) {
   KernelConfig config;
   config.memory_frames = frames;
   config.records_per_pack = 8192;
@@ -88,17 +95,52 @@ KernelConfig MakeConfig(const Mode& mode, uint16_t cpus, Cycles connect_cost,
   config.steal = mode.steal;
   config.connect_cost = connect_cost;
   config.trace.enabled = trace;
+  config.profile.enabled = profile;
+  config.profile.stall_rounds = kBenchStallRounds;
   return config;
+}
+
+// Shared per-run reporting for both workloads: trace_dropped + the all-
+// histogram line when tracing, the top-domain table + `runqueue_prof` line
+// (and optionally the folded flamegraph export) when profiling.
+void ReportRun(Kernel& kernel, RqResult* out, const char* workload, const Mode& mode,
+               uint16_t cpus, Cycles cost, bool trace, bool profile,
+               const char* folded_path) {
+  if (trace) {
+    out->trace_dropped = TraceDroppedTotal(kernel.ctx().trace);
+    JsonLine hline("runqueue_hist");
+    hline.Field("workload", workload)
+        .Field("mode", mode.name)
+        .Field("cpus", uint64_t{cpus})
+        .Field("connect_cost", uint64_t{cost});
+    EmitJson(FieldAllHistograms(hline, kernel.metrics()));
+  }
+  if (profile) {
+    char title[96];
+    std::snprintf(title, sizeof title, "%s %s @ %u cpus, cost %llu", workload, mode.name,
+                  cpus, (unsigned long long)cost);
+    PrintProfileTable(kernel.ctx().prof, title);
+    JsonLine pline("runqueue_prof");
+    pline.Field("workload", workload)
+        .Field("mode", mode.name)
+        .Field("cpus", uint64_t{cpus})
+        .Field("connect_cost", uint64_t{cost});
+    EmitJson(FieldProfDomains(pline, kernel.ctx().prof));
+    if (folded_path != nullptr) {
+      WriteFolded(kernel.ctx().prof, folded_path);
+    }
+  }
 }
 
 // P11's kernel fault storm, unchanged: every touch of the cyclic page sweep
 // faults because the working sets sum past the frame pool.
 RqResult RunStorm(const Mode& mode, uint16_t cpus, Cycles connect_cost, uint32_t rounds,
-                  bool trace, const char* trace_path) {
+                  bool trace, bool profile, const char* trace_path,
+                  const char* folded_path) {
   RqResult out;
   constexpr uint32_t kProcs = 4;
   constexpr uint32_t kPages = 24;
-  Kernel kernel{MakeConfig(mode, cpus, connect_cost, /*frames=*/64, trace)};
+  Kernel kernel{MakeConfig(mode, cpus, connect_cost, /*frames=*/64, trace, profile)};
   if (!kernel.Boot().ok()) {
     return out;
   }
@@ -147,6 +189,8 @@ RqResult RunStorm(const Mode& mode, uint16_t cpus, Cycles connect_cost, uint32_t
       std::printf("trace written: %s\n", trace_path);
     }
   }
+  ReportRun(kernel, &out, "fault_storm", mode, cpus, connect_cost, trace, profile,
+            folded_path);
   out.ok = true;
   return out;
 }
@@ -157,11 +201,11 @@ RqResult RunStorm(const Mode& mode, uint16_t cpus, Cycles connect_cost, uint32_t
 // 0xc (CPUs 2-3); a pin is applied only where it intersects the pool, so the
 // 1- and 2-CPU rows degrade gracefully to unpinned halves.
 RqResult RunMixed(const Mode& mode, uint16_t cpus, Cycles connect_cost, uint32_t ops,
-                  bool trace) {
+                  bool trace, bool profile) {
   RqResult out;
   constexpr uint32_t kProcs = 8;
   constexpr uint32_t kPages = 16;
-  Kernel kernel{MakeConfig(mode, cpus, connect_cost, /*frames=*/256, trace)};
+  Kernel kernel{MakeConfig(mode, cpus, connect_cost, /*frames=*/256, trace, profile)};
   if (!kernel.Boot().ok()) {
     return out;
   }
@@ -212,6 +256,8 @@ RqResult RunMixed(const Mode& mode, uint16_t cpus, Cycles connect_cost, uint32_t
   out.total = kernel.clock().now() - before;
   out.makespan = kernel.ctx().smp.Makespan() - m0;
   CaptureCounters(kernel.metrics(), &out);
+  ReportRun(kernel, &out, "mixed_pinned", mode, cpus, connect_cost, trace, profile,
+            /*folded_path=*/nullptr);
   out.ok = true;
   return out;
 }
@@ -223,12 +269,15 @@ int main(int argc, char** argv) {
   using namespace mks;
   bool smoke = false;
   bool trace = false;
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
       trace = true;  // the smoke run doubles as the tracer's CI exercise
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     }
   }
   const std::vector<uint16_t> cpu_counts =
@@ -251,12 +300,14 @@ int main(int argc, char** argv) {
       for (const Mode& mode : kModes) {
         Cycles m1 = 0;
         for (uint16_t cpus : cpu_counts) {
-          const bool want_export =
-              trace && storm && mode.steal && cpus == 4 && cost == max_cost;
+          const bool heaviest = storm && mode.steal && cpus == 4 && cost == max_cost;
+          const bool want_export = trace && heaviest;
+          const bool want_folded = profile && heaviest;
           const RqResult r =
-              storm ? RunStorm(mode, cpus, cost, storm_rounds, trace,
-                               want_export ? "bench_perf_runqueue.trace.json" : nullptr)
-                    : RunMixed(mode, cpus, cost, mix_ops, trace);
+              storm ? RunStorm(mode, cpus, cost, storm_rounds, trace, profile,
+                               want_export ? "bench_perf_runqueue.trace.json" : nullptr,
+                               want_folded ? "bench_perf_runqueue.prof.folded" : nullptr)
+                    : RunMixed(mode, cpus, cost, mix_ops, trace, profile);
           if (!r.ok) {
             std::fprintf(stderr, "run failed (%s, %s, %u cpus, cost %llu)\n", workload,
                          mode.name, cpus, (unsigned long long)cost);
@@ -288,6 +339,9 @@ int main(int argc, char** argv) {
               .Field("connect_signals", r.connect_signals)
               .Field("vp_migrations", r.vp_migrations)
               .Field("proc_migrations", r.proc_migrations);
+          if (trace) {
+            line.Field("trace_dropped", r.trace_dropped);
+          }
           EmitJson(line);
           if (cpus == 4 && cost == max_cost) {
             if (storm && std::strcmp(mode.name, "global") == 0) {

@@ -67,7 +67,7 @@ Cycles RunKernel() {
   config.memory_frames = 256;
   config.records_per_pack = 8192;
   config.vp_count = 6;  // 8 processes multiplexed over a smaller fixed pool
-  Kernel kernel{config};
+  Kernel kernel{ArmWatchdog(config)};
   if (!kernel.Boot().ok()) {
     return 0;
   }

@@ -39,6 +39,7 @@ struct StormResult {
   uint64_t fault_p50 = 0;
   uint64_t fault_p95 = 0;
   uint64_t fault_p99 = 0;
+  uint64_t trace_dropped = 0;
   bool ok = false;
 };
 
@@ -51,7 +52,7 @@ StormResult RunStorm(uint16_t cpus, uint32_t rounds, const char* trace_path) {
   config.vp_count = 6;
   config.async_paging = true;  // in-flight transfers keep PTWs locked
   config.trace.enabled = true;
-  Kernel kernel{config};
+  Kernel kernel{ArmWatchdog(config)};
   if (!kernel.Boot().ok()) {
     return out;
   }
@@ -113,6 +114,7 @@ StormResult RunStorm(uint16_t cpus, uint32_t rounds, const char* trace_path) {
     out.fault_p95 = kernel.metrics().HistPercentile("fault.service_cycles", 0.95);
     out.fault_p99 = kernel.metrics().HistPercentile("fault.service_cycles", 0.99);
   }
+  out.trace_dropped = TraceDroppedTotal(kernel.ctx().trace);
   if (trace_path != nullptr) {
     if (!TraceExporter::WriteFile(kernel.ctx().trace, trace_path)) {
       std::fprintf(stderr, "trace export failed: %s\n", trace_path);
@@ -171,7 +173,8 @@ int main(int argc, char** argv) {
         .Field("fault_count", r.fault_count)
         .Field("fault_service_p50", r.fault_p50)
         .Field("fault_service_p95", r.fault_p95)
-        .Field("fault_service_p99", r.fault_p99);
+        .Field("fault_service_p99", r.fault_p99)
+        .Field("trace_dropped", r.trace_dropped);
     EmitJson(line);
     if (cpus == cpu_counts.back()) {
       waits_at_max = r.locked_waits;

@@ -53,7 +53,7 @@ CoreRun RunFaultStorm(uint16_t cpus, uint32_t rounds, bool trace) {
   config.cpu_count = cpus;
   config.vp_count = 6;
   config.trace.enabled = trace;
-  Kernel kernel{config};
+  Kernel kernel{ArmWatchdog(config)};
   if (!kernel.Boot().ok()) {
     return out;
   }
@@ -108,7 +108,7 @@ CoreRun RunFaultStorm(uint16_t cpus, uint32_t rounds, bool trace) {
 // The P3 login/logout dialog at answering-service scale, user domain.
 CoreRun RunAnsweringStorm(int users) {
   CoreRun out;
-  Kernel kernel{KernelConfig{}};
+  Kernel kernel{ArmWatchdog(KernelConfig{})};
   if (!kernel.Boot().ok()) {
     return out;
   }

@@ -17,12 +17,17 @@
 // of total work grows with the pool, and makespan barely moves — the
 // lock-contention collapse the paper predicts.
 //
-// Usage: bench_perf_smp [--smoke] [--trace] [--ticket]
+// Usage: bench_perf_smp [--smoke] [--trace] [--ticket] [--profile]
 //   --smoke: one tiny iteration, for CI under sanitizers
-//   --trace: enable the virtual-time tracer in both supervisors; JSON lines
-//            gain fault-service p50/p95/p99 per cpu_count, and the 4-CPU
-//            kernel fault storm is exported as bench_perf_smp.trace.json
+//   --trace: enable the virtual-time tracer in both supervisors; each traced
+//            run emits an `smp_hist` JSON line with p50/p95/p99 of every
+//            populated histogram, result lines gain `trace_dropped`, and the
+//            4-CPU kernel fault storm is exported as bench_perf_smp.trace.json
 //            (Chrome trace-event format, loadable in Perfetto)
+//   --profile: enable the cycle-accounting profiler in the kernel runs; each
+//            run prints a top-domain breakdown table, emits an `smp_prof`
+//            JSON line, and the 4-CPU fault storm's domain trees are exported
+//            as bench_perf_smp.prof.folded (flamegraph.pl collapsed stacks)
 //   --ticket: additionally run the baseline with the ticket-ordered global
 //            lock (extra base-tkt rows; the default rows are untouched).
 //            FIFO handoff adds a mandatory line transfer per contended
@@ -59,29 +64,19 @@ struct SmpResult {
   uint64_t lock_handoff_cycles = 0;
   uint64_t lock_max_spin = 0;
   uint64_t locked_waits = 0;
-  // Fault-service latency percentiles (cycles); 0 when tracing is off.
-  uint64_t fault_p50 = 0;
-  uint64_t fault_p95 = 0;
-  uint64_t fault_p99 = 0;
+  uint64_t trace_dropped = 0;  // ring records lost; reported when tracing
   bool ok = false;
 };
 
-void CapturePercentiles(const Metrics& metrics, SmpResult* out) {
-  if (metrics.HistCount("fault.service_cycles") == 0) {
-    return;
-  }
-  out->fault_p50 = metrics.HistPercentile("fault.service_cycles", 0.50);
-  out->fault_p95 = metrics.HistPercentile("fault.service_cycles", 0.95);
-  out->fault_p99 = metrics.HistPercentile("fault.service_cycles", 0.99);
-}
-
-JsonLine& FieldPercentiles(JsonLine& line, const SmpResult& r) {
-  if (r.fault_p50 != 0 || r.fault_p95 != 0 || r.fault_p99 != 0) {
-    line.Field("fault_service_p50", r.fault_p50)
-        .Field("fault_service_p95", r.fault_p95)
-        .Field("fault_service_p99", r.fault_p99);
-  }
-  return line;
+// One `smp_hist` line per traced run carries p50/p95/p99 of EVERY histogram
+// with observations, emitted while the run's Metrics is still alive.
+void EmitHistLine(const Metrics& metrics, const Workload& w, const char* supervisor,
+                  uint16_t cpus) {
+  JsonLine line("smp_hist");
+  line.Field("workload", w.name)
+      .Field("supervisor", supervisor)
+      .Field("cpus", uint64_t{cpus});
+  EmitJson(FieldAllHistograms(line, metrics));
 }
 
 // Builds one process's op list.  The fault storm is a cyclic sweep of the
@@ -152,12 +147,15 @@ SmpResult RunBaseline(const Workload& w, uint16_t cpus, bool trace, bool ticket 
   out.lock_handoffs = sup.global_lock_handoffs();
   out.lock_handoff_cycles = sup.global_lock_handoff_cycles();
   out.lock_max_spin = sup.global_lock_max_spin();
-  CapturePercentiles(sup.metrics(), &out);
+  if (trace) {
+    out.trace_dropped = TraceDroppedTotal(sup.trace());
+    EmitHistLine(sup.metrics(), w, ticket ? "base-tkt" : "baseline", cpus);
+  }
   out.ok = true;
   return out;
 }
 
-SmpResult RunKernel(const Workload& w, uint16_t cpus, bool trace,
+SmpResult RunKernel(const Workload& w, uint16_t cpus, bool trace, bool profile,
                     const char* trace_path = nullptr) {
   SmpResult out;
   KernelConfig config;
@@ -166,6 +164,8 @@ SmpResult RunKernel(const Workload& w, uint16_t cpus, bool trace,
   config.cpu_count = cpus;
   config.vp_count = 6;
   config.trace.enabled = trace;
+  config.profile.enabled = profile;
+  config.profile.stall_rounds = kBenchStallRounds;
   Kernel kernel{config};
   if (!kernel.Boot().ok()) {
     return out;
@@ -206,12 +206,27 @@ SmpResult RunKernel(const Workload& w, uint16_t cpus, bool trace,
   out.total = kernel.clock().now() - before;
   out.makespan = kernel.ctx().smp.Makespan() - m0;
   out.locked_waits = kernel.metrics().Get("gates.locked_descriptor_waits");
-  CapturePercentiles(kernel.metrics(), &out);
+  if (trace) {
+    out.trace_dropped = TraceDroppedTotal(kernel.ctx().trace);
+    EmitHistLine(kernel.metrics(), w, "kernel", cpus);
+  }
   if (trace && trace_path != nullptr) {
     if (!TraceExporter::WriteFile(kernel.ctx().trace, trace_path)) {
       std::fprintf(stderr, "trace export failed: %s\n", trace_path);
     } else {
       std::printf("trace written: %s\n", trace_path);
+    }
+  }
+  if (profile) {
+    char title[96];
+    std::snprintf(title, sizeof title, "kernel %s @ %u cpus", w.name, cpus);
+    PrintProfileTable(kernel.ctx().prof, title);
+    JsonLine pline("smp_prof");
+    pline.Field("workload", w.name).Field("cpus", uint64_t{cpus});
+    EmitJson(FieldProfDomains(pline, kernel.ctx().prof));
+    // One flamegraph export, from the most contended configuration.
+    if (w.mix_ops == 0 && cpus == 4) {
+      WriteFolded(kernel.ctx().prof, "bench_perf_smp.prof.folded");
     }
   }
   out.ok = true;
@@ -226,6 +241,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool trace = false;
   bool ticket = false;
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -233,6 +249,8 @@ int main(int argc, char** argv) {
       trace = true;
     } else if (std::strcmp(argv[i], "--ticket") == 0) {
       ticket = true;
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     }
   }
   const std::vector<uint16_t> cpu_counts =
@@ -256,8 +274,8 @@ int main(int argc, char** argv) {
       // Export the Chrome trace of the most contended kernel configuration:
       // the 4-CPU fault storm.
       const bool want_export = trace && w.mix_ops == 0 && cpus == 4;
-      const SmpResult k =
-          RunKernel(w, cpus, trace, want_export ? "bench_perf_smp.trace.json" : nullptr);
+      const SmpResult k = RunKernel(w, cpus, trace, profile,
+                                    want_export ? "bench_perf_smp.trace.json" : nullptr);
       if (!b.ok || !k.ok) {
         std::fprintf(stderr, "run failed (%s, %u cpus)\n", w.name, cpus);
         return 1;
@@ -286,7 +304,10 @@ int main(int argc, char** argv) {
           .Field("lock_contended", b.lock_contended)
           .Field("lock_spin_cycles", b.lock_spin)
           .Field("spin_share", spin_share);
-      EmitJson(FieldPercentiles(bline, b));
+      if (trace) {
+        bline.Field("trace_dropped", b.trace_dropped);
+      }
+      EmitJson(bline);
       JsonLine kline("smp");
       kline.Field("workload", w.name)
           .Field("supervisor", "kernel")
@@ -295,7 +316,10 @@ int main(int argc, char** argv) {
           .Field("total_cycles", k.total)
           .Field("speedup_vs_1cpu", k_speedup)
           .Field("locked_descriptor_waits", k.locked_waits);
-      EmitJson(FieldPercentiles(kline, k));
+      if (trace) {
+        kline.Field("trace_dropped", k.trace_dropped);
+      }
+      EmitJson(kline);
       if (ticket) {
         const SmpResult t = RunBaseline(w, cpus, trace, /*ticket=*/true);
         if (!t.ok) {
@@ -325,7 +349,10 @@ int main(int argc, char** argv) {
             .Field("lock_handoffs", t.lock_handoffs)
             .Field("lock_handoff_cycles", t.lock_handoff_cycles)
             .Field("lock_max_spin", t.lock_max_spin);
-        EmitJson(FieldPercentiles(tline, t));
+        if (trace) {
+          tline.Field("trace_dropped", t.trace_dropped);
+        }
+        EmitJson(tline);
       }
       if (cpus == 4 && k.makespan >= kernel_m1) {
         kernel_scales = false;  // the acceptance shape: 4 CPUs beat 1

@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Diff the two newest committed bench collections for metric regressions.
+
+Finds the two highest-numbered BENCH_pr<n>.json files at the repo root
+(or takes two explicit paths), matches their JSON-lines rows by bench
+identity (bench name + config discriminators like workload/policy/cpus),
+and flags any deterministic metric that got WORSE by more than its
+threshold (default 25%).  Improvements and small drifts only print.
+
+Host-dependent fields (host_ns, sim_cycles_advanced, *_per_host_sec,
+*_ns timings) are skipped: they measure the runner, not the kernel.
+Virtual-cycle metrics are deterministic, so any drift is a real change
+in modelled behaviour — intentional changes re-baseline by committing a
+fresh collection (bench/run_all.sh).
+
+Usage: compare_bench.py [--threshold PCT] [--advisory] [OLD.json NEW.json]
+
+Exit codes: 0 clean (or fewer than two collections to compare, or
+--advisory), 1 regression beyond threshold, 2 usage/IO error.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+# Fields that identify which run a row describes, not what it measured.
+KEY_FIELDS = (
+    "bench",
+    "workload",
+    "mode",
+    "policy",
+    "op",
+    "cpus",
+    "users",
+    "sessions",
+    "vps",
+    "connect_cost",
+    "cost",
+    "segments",
+    "rounds",
+)
+
+# Per-metric override thresholds (fraction, worse-direction only).
+THRESHOLDS = {
+    # Any growth in dropped trace records means the rings got too small for
+    # the workload — flag it sooner than a generic 25%.
+    "trace_dropped": 0.05,
+}
+DEFAULT_THRESHOLD = 0.25
+
+# Metrics where bigger is better; everything else numeric is cost-like.
+BETTER_BIGGER = re.compile(r"(speedup|throughput|per_host_sec)")
+# Host-dependent / non-deterministic fields: never compared.  Anything in
+# host time units (ns/us/ms) measures the runner; the per-host-sec rates and
+# the wall-clock advance counter come from the same stopwatch.
+SKIP = re.compile(
+    r"(^host_|^sim_cycles_advanced$|_per_host_sec$|_ns$|_us$|_ms$)")
+
+
+def newest_two(root):
+    found = []
+    for path in glob.glob(os.path.join(root, "BENCH_pr*.json")):
+        m = re.fullmatch(r"BENCH_pr(\d+)\.json", os.path.basename(path))
+        if m:
+            found.append((int(m.group(1)), path))
+    found.sort()
+    return [path for _, path in found[-2:]]
+
+
+def load_rows(path):
+    rows = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            row = json.loads(line)
+            key = tuple((k, row[k]) for k in KEY_FIELDS if k in row)
+            # Duplicate identities (repeated sweeps) get an occurrence index.
+            n = 0
+            while (key, n) in rows:
+                n += 1
+            rows[(key, n)] = row
+    return rows
+
+
+def fmt_key(key):
+    return " ".join("%s=%s" % (k, v) for k, v in key[0]) + (
+        " #%d" % key[1] if key[1] else ""
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("files", nargs="*", help="explicit OLD.json NEW.json pair")
+    ap.add_argument("--threshold", type=float, default=100 * DEFAULT_THRESHOLD,
+                    help="default worse-direction threshold, percent")
+    ap.add_argument("--advisory", action="store_true",
+                    help="print the diff but always exit 0")
+    args = ap.parse_args()
+
+    if args.files and len(args.files) != 2:
+        print("error: pass exactly two files, or none for auto-discovery",
+              file=sys.stderr)
+        return 2
+    pair = args.files or newest_two(os.getcwd())
+    if len(pair) < 2:
+        print("compare_bench: fewer than two BENCH_pr*.json collections; "
+              "nothing to compare")
+        return 0
+    old_path, new_path = pair
+    old_rows, new_rows = load_rows(old_path), load_rows(new_path)
+    print("comparing %s (baseline) -> %s" % (old_path, new_path))
+
+    default_frac = args.threshold / 100.0
+    regressions = 0
+    drifts = 0
+    for key, new_row in sorted(new_rows.items(), key=lambda kv: fmt_key(kv[0])):
+        old_row = old_rows.get(key)
+        if old_row is None:
+            print("  new row (no baseline): %s" % fmt_key(key))
+            continue
+        for field, new_val in new_row.items():
+            if field in dict(key[0]) or SKIP.search(field):
+                continue
+            old_val = old_row.get(field)
+            if not isinstance(new_val, (int, float)) or isinstance(new_val, bool):
+                continue
+            if not isinstance(old_val, (int, float)) or isinstance(old_val, bool):
+                continue
+            if old_val == new_val:
+                continue
+            if old_val == 0:
+                print("  drift  %s %s: 0 -> %s" % (fmt_key(key), field, new_val))
+                drifts += 1
+                continue
+            delta = (new_val - old_val) / abs(old_val)
+            worse = -delta if BETTER_BIGGER.search(field) else delta
+            frac = THRESHOLDS.get(field, default_frac)
+            tag = "REGRESSION" if worse > frac else "drift "
+            print("  %s %s %s: %s -> %s (%+.1f%%)"
+                  % (tag, fmt_key(key), field, old_val, new_val, 100 * delta))
+            if worse > frac:
+                regressions += 1
+            else:
+                drifts += 1
+    removed = [k for k in old_rows if k not in new_rows]
+    for key in sorted(removed, key=fmt_key):
+        print("  removed row: %s" % fmt_key(key))
+
+    print("compare_bench: %d regression(s), %d drift(s), %d removed row(s)"
+          % (regressions, drifts, len(removed)))
+    if regressions and not args.advisory:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

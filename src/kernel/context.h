@@ -18,6 +18,7 @@
 #include "src/sim/cpu_sched.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
+#include "src/sim/prof.h"
 #include "src/sim/trace.h"
 #include "src/sync/eventcount.h"
 
@@ -28,6 +29,7 @@ struct KernelContext {
                 uint64_t secret_seed, uint16_t cpu_count = 1, Cycles connect_cost = 0)
       : cost(&clock),
         trace(&clock, &metrics),
+        prof(&clock),
         eventcounts(&metrics),
         monitor(&clock, &metrics),
         memory(memory_frames, &cost, &metrics),
@@ -37,12 +39,14 @@ struct KernelContext {
         secret(secret_seed) {
     cost.set_structured_factor(structured_factor);
     cpus.set_connect_cost(connect_cost);
+    smp.set_prof(&prof);
   }
 
   Clock clock;
   CostModel cost;
   Metrics metrics;
   Tracer trace;  // virtual-time event rings; inert until Enable()d
+  Prof prof;     // per-CPU cycle attribution + stall watchdog; inert until Enable()d
   EventQueue events;
   CallTracker tracker;
   EventcountTable eventcounts;

@@ -18,7 +18,7 @@ DirectoryManager::DirectoryManager(KernelContext* ctx, QuotaCellManager* quota,
       id_renames_(ctx->metrics.Intern("dir.renames")),
       id_quota_designations_(ctx->metrics.Intern("dir.quota_designations")),
       id_moves_completed_(ctx->metrics.Intern("dir.moves_completed")) {
-  rmi_.Init(ctx, "dir");
+  rmi_.Init(ctx, "dir", ProfDomain::kDirectoryRead, ProfDomain::kDirectoryWrite);
 }
 
 SegmentUid DirectoryManager::NewUid() {

@@ -29,6 +29,7 @@ KernelGates::KernelGates(KernelContext* ctx, VirtualProcessorManager* vpm,
 
 Result<EntryId> KernelGates::Search(ProcContext& ctx, EntryId dir, std::string_view name) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kSearch);
   return dirs_->Search(ctx.subject, dir, name);
@@ -37,6 +38,7 @@ Result<EntryId> KernelGates::Search(ProcContext& ctx, EntryId dir, std::string_v
 Result<EntryId> KernelGates::CreateSegment(ProcContext& ctx, EntryId dir, std::string name,
                                            Acl acl, Label label) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kCreateSegment);
   return dirs_->CreateSegmentEntry(ctx.subject, dir, std::move(name), std::move(acl), label);
@@ -45,6 +47,7 @@ Result<EntryId> KernelGates::CreateSegment(ProcContext& ctx, EntryId dir, std::s
 Result<EntryId> KernelGates::CreateDirectory(ProcContext& ctx, EntryId dir, std::string name,
                                              Acl acl, Label label) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kCreateDirectory);
   return dirs_->CreateDirectoryEntry(ctx.subject, dir, std::move(name), std::move(acl), label);
@@ -52,6 +55,7 @@ Result<EntryId> KernelGates::CreateDirectory(ProcContext& ctx, EntryId dir, std:
 
 Status KernelGates::Delete(ProcContext& ctx, EntryId dir, std::string_view name) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kDelete);
   return dirs_->DeleteEntry(ctx.subject, dir, name);
@@ -60,6 +64,7 @@ Status KernelGates::Delete(ProcContext& ctx, EntryId dir, std::string_view name)
 Status KernelGates::Rename(ProcContext& ctx, EntryId dir, std::string_view old_name,
                            std::string new_name) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kRename);
   return dirs_->RenameEntry(ctx.subject, dir, old_name, std::move(new_name));
@@ -67,6 +72,7 @@ Status KernelGates::Rename(ProcContext& ctx, EntryId dir, std::string_view old_n
 
 Status KernelGates::SetAcl(ProcContext& ctx, EntryId dir, std::string_view name, Acl acl) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kSetAcl);
   return dirs_->SetAcl(ctx.subject, dir, name, std::move(acl));
@@ -74,6 +80,7 @@ Status KernelGates::SetAcl(ProcContext& ctx, EntryId dir, std::string_view name,
 
 Status KernelGates::ListNames(ProcContext& ctx, EntryId dir, std::vector<std::string>* out) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kListNames);
   return dirs_->ListNames(ctx.subject, dir, out);
@@ -81,6 +88,7 @@ Status KernelGates::ListNames(ProcContext& ctx, EntryId dir, std::vector<std::st
 
 Status KernelGates::SetQuota(ProcContext& ctx, EntryId dir, uint64_t limit) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kSetQuota);
   return dirs_->SetQuota(ctx.subject, dir, limit);
@@ -88,6 +96,7 @@ Status KernelGates::SetQuota(ProcContext& ctx, EntryId dir, uint64_t limit) {
 
 Status KernelGates::RemoveQuota(ProcContext& ctx, EntryId dir) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kRemoveQuota);
   return dirs_->RemoveQuota(ctx.subject, dir);
@@ -95,6 +104,7 @@ Status KernelGates::RemoveQuota(ProcContext& ctx, EntryId dir) {
 
 Result<QuotaStatus> KernelGates::GetQuota(ProcContext& ctx, EntryId dir) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kGetQuota);
   return dirs_->GetQuota(ctx.subject, dir);
@@ -102,6 +112,7 @@ Result<QuotaStatus> KernelGates::GetQuota(ProcContext& ctx, EntryId dir) {
 
 Result<Segno> KernelGates::Initiate(ProcContext& ctx, EntryId target) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kInitiate);
   MKS_ASSIGN_OR_RETURN(EntryInfo info, dirs_->ResolveForInitiate(ctx.subject, target));
@@ -111,6 +122,7 @@ Result<Segno> KernelGates::Initiate(ProcContext& ctx, EntryId target) {
 
 Status KernelGates::Terminate(ProcContext& ctx, Segno segno) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kTerminate);
   return ksm_->Terminate(ctx.pid, segno);
@@ -118,6 +130,7 @@ Status KernelGates::Terminate(ProcContext& ctx, Segno segno) {
 
 Result<EventcountId> KernelGates::CreateEventcount(ProcContext& ctx, Label label) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kCreateEventcount);
   if (!label.Dominates(ctx.subject.label)) {
@@ -133,6 +146,7 @@ Result<EventcountId> KernelGates::CreateEventcount(ProcContext& ctx, Label label
 
 Status KernelGates::AdvanceEventcount(ProcContext& ctx, EventcountId ec) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kAdvanceEventcount);
   if (ec.value >= user_eventcounts_.size() || !user_eventcounts_[ec.value].valid) {
@@ -147,6 +161,7 @@ Status KernelGates::AdvanceEventcount(ProcContext& ctx, EventcountId ec) {
 
 Result<uint64_t> KernelGates::ReadEventcount(ProcContext& ctx, EventcountId ec) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kReadEventcount);
   if (ec.value >= user_eventcounts_.size() || !user_eventcounts_[ec.value].valid) {
@@ -159,6 +174,7 @@ Result<uint64_t> KernelGates::ReadEventcount(ProcContext& ctx, EventcountId ec) 
 
 Status KernelGates::AwaitEventcount(ProcContext& ctx, EventcountId ec, uint64_t target) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope gate(&ctx_->prof, ProfDomain::kGate);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kGateCall);
   TraceGate(ctx, GateOp::kAwaitEventcount);
   if (ec.value >= user_eventcounts_.size() || !user_eventcounts_[ec.value].valid) {
@@ -207,6 +223,9 @@ Status KernelGates::Reference(ProcContext& ctx, Segno segno, uint32_t offset, Ac
     // A hardware exception enters the supervisor afresh: no caller stack is
     // carried across the fault boundary.
     CallTracker::SignalScope fresh_entry(&ctx_->tracker);
+    // Everything from here to retry is fault service; the paging and naming
+    // layers open their own domains underneath.
+    Prof::Scope fault(&ctx_->prof, ProfDomain::kFaultService);
     switch (access.fault.kind) {
       case FaultKind::kMissingSegment: {
         MKS_RETURN_IF_ERROR(ksm_->HandleSegmentFault(ctx.pid, segno));

@@ -12,6 +12,9 @@ Kernel::Kernel(const KernelConfig& config)
   // latch the knob.  With trace.enabled false the tracer stays inert and no
   // instrumented path diverges from an untraced build.
   ctx_->trace.Enable(config.cpu_count, config.trace);
+  // Same staging for the profiler: lanes sized before the first charge, so
+  // every accrual window from boot onward is attributable.
+  ctx_->prof.Enable(config.cpu_count, config.profile);
   core_segs_ = std::make_unique<CoreSegmentManager>(ctx_.get());
   vpm_ = std::make_unique<VirtualProcessorManager>(ctx_.get(), core_segs_.get());
   vpm_->set_connect_cost(config.connect_cost);

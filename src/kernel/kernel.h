@@ -39,6 +39,12 @@ struct KernelConfig {
   // Virtual-time tracer (default off — with it off every instrumented path
   // is byte-identical to an untraced build; same pattern as the pipeline).
   TraceConfig trace;
+  // Per-CPU cycle-accounting profiler + stall watchdog (default off — same
+  // byte-identical-when-off discipline as the tracer).  profile.stall_rounds
+  // arms the watchdog independently of profile.enabled: arming it never
+  // changes a run's output, it only turns a frozen-clock livelock into a
+  // flight-recorder dump and abort.
+  ProfConfig profile;
   // Dispatch sharding (all default off — the legacy single ready list with
   // free cross-CPU traffic, byte-identical to the pre-sharding scheduler).
   // sharded_runqueues: per-CPU run queues, each behind its own SimSpinLock.

@@ -13,7 +13,9 @@ KnownSegmentManager::KnownSegmentManager(KernelContext* ctx, SegmentManager* seg
       id_segment_faults_(ctx->metrics.Intern("ksm.segment_faults")),
       id_quota_exceptions_(ctx->metrics.Intern("ksm.quota_exceptions")),
       id_full_pack_moves_(ctx->metrics.Intern("ksm.full_pack_moves")) {
-  rmi_.Init(ctx, "ksm");
+  // The KST rides the directory domains: it is the per-process face of the
+  // naming surface, and the profiler wants "naming, read side" as one number.
+  rmi_.Init(ctx, "ksm", ProfDomain::kDirectoryRead, ProfDomain::kDirectoryWrite);
 }
 
 Status KnownSegmentManager::CreateKst(ProcessId pid) {

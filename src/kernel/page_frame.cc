@@ -85,6 +85,9 @@ uint32_t PageFrameManager::ClockSelectVictim() {
 }
 
 Result<FrameIndex> PageFrameManager::AcquireFrame() {
+  // Frame supply is paging I/O: the inline-eviction fallback pays a disk
+  // writeback right here on the fault path.
+  Prof::Scope io(&ctx_->prof, ProfDomain::kPagingIo);
   if (!free_list_.empty()) {
     FrameIndex frame = free_list_.back();
     free_list_.pop_back();
@@ -176,6 +179,7 @@ Status PageFrameManager::ServiceMissingPage(PageTable* pt, uint32_t page, PackId
                                             EventcountId seg_ec, ProcessId initiator,
                                             WaitSpec* wait) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope fault(&ctx_->prof, ProfDomain::kFaultService);
   const Cycles fault_begin = ctx_->trace.Begin();
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kFaultEntry);
   ctx_->metrics.Inc(id_faults_serviced_);
@@ -253,7 +257,10 @@ Status PageFrameManager::ServiceMissingPage(PageTable* pt, uint32_t page, PackId
   }
 
   if (!async_) {
-    ctx_->volumes.ReadRecordLazy(pack, fm.record, &ctx_->memory, frame);
+    {
+      Prof::Scope io(&ctx_->prof, ProfDomain::kPagingIo);
+      ctx_->volumes.ReadRecordLazy(pack, fm.record, &ctx_->memory, frame);
+    }
     ptw.frame = frame.value;
     ptw.in_core = true;
     ptw.locked = false;
@@ -352,6 +359,7 @@ void PageFrameManager::MaybeReadahead(PageTable* pt, uint32_t page, PackId pack,
     // Synchronous mode has no daemon running between faults: the
     // anticipatory sweep completes before the fault returns, leaving no
     // locked window behind.
+    Prof::Scope io(&ctx_->prof, ProfDomain::kPagingIo);
     while (dp->queued_io() > 0) {
       DispatchPackQueue(pack);
     }
@@ -395,6 +403,7 @@ void PageFrameManager::CompletePostedRead(FrameIndex frame) {
 
 bool PageFrameManager::PageIoDaemonStep() {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope io(&ctx_->prof, ProfDomain::kPagingIo);
   bool did_work = false;
   while (!completions_.empty()) {
     const Completion completion = completions_.front();
@@ -579,6 +588,7 @@ void PageFrameManager::AuditIntegrity(std::vector<std::string>* findings) const 
 
 bool PageFrameManager::PageWriterStep(size_t max_writes) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  Prof::Scope io(&ctx_->prof, ProfDomain::kPagingIo);
   bool replenished = false;
   if (pipeline_.precleaning) {
     replenished = ReplenishFreePool();

@@ -22,6 +22,7 @@
 #ifndef MKS_KERNEL_SHARED_SECTION_H_
 #define MKS_KERNEL_SHARED_SECTION_H_
 
+#include <algorithm>
 #include <string>
 
 #include "src/kernel/context.h"
@@ -33,7 +34,15 @@ namespace mks {
 // vs write-side attribution, interned once at manager construction (interning
 // is unconditional and inert — the same discipline every manager follows).
 struct ReadMostlyInstruments {
-  void Init(KernelContext* ctx, const char* prefix) {
+  // `read_domain`/`write_domain` classify the manager's sections for the
+  // cycle profiler.  The KST rides the directory domains: it is the
+  // per-process face of the naming surface, and P16-style analysis wants
+  // "naming, read side" as one number.
+  void Init(KernelContext* ctx, const char* prefix,
+            ProfDomain read = ProfDomain::kDirectoryRead,
+            ProfDomain write = ProfDomain::kDirectoryWrite) {
+    read_domain = read;
+    write_domain = write;
     const std::string p(prefix);
     id_read_sections = ctx->metrics.Intern(p + ".read_sections");
     id_read_section_cycles = ctx->metrics.Intern(p + ".read_section_cycles");
@@ -51,6 +60,8 @@ struct ReadMostlyInstruments {
     ev_grace = ctx->trace.InternEvent(p + ".grace_wait");
   }
 
+  ProfDomain read_domain = ProfDomain::kDirectoryRead;
+  ProfDomain write_domain = ProfDomain::kDirectoryWrite;
   MetricId id_read_sections = 0;
   MetricId id_read_section_cycles = 0;
   MetricId id_read_spin_cycles = 0;
@@ -73,7 +84,9 @@ class SharedSection {
 
   SharedSection(SimSharedLock* lock, KernelContext* ctx, Kind kind,
                 const ReadMostlyInstruments& ins)
-      : ctx_(ctx), ins_(ins), kind_(kind) {
+      : ctx_(ctx), ins_(ins), kind_(kind),
+        prof_scope_(&ctx->prof, kind == Kind::kRead ? ins.read_domain
+                                                    : ins.write_domain) {
     if (!lock->modeled()) {
       return;
     }
@@ -88,6 +101,7 @@ class SharedSection {
       spin_ = lock->AcquireRead(lnow_, cpu_);
       ctx->metrics.Inc(ins.id_read_sections);
       if (spin_ > 0) {
+        Prof::Scope wait(&ctx->prof, ProfDomain::kLockSpin);
         ctx->cost.Charge(CodeStyle::kOptimized, spin_);
         ctx->metrics.Inc(ins.id_read_spin_cycles, spin_);
       }
@@ -97,7 +111,20 @@ class SharedSection {
       spin_ = grant.total;
       ctx->metrics.Inc(ins.id_write_sections);
       if (grant.total > 0) {
-        ctx->cost.Charge(CodeStyle::kOptimized, grant.total);
+        // Attribution splits the grant: the gap to the last reader/writer is
+        // lock-spin, the revocation/publish/grace traffic is lock-handoff.
+        // The two optimized charges sum to grant.total exactly.
+        const Cycles traffic =
+            std::min(grant.total, grant.revocation_cycles +
+                                      grant.publish_cycles + grant.grace_cycles);
+        if (grant.total > traffic) {
+          Prof::Scope wait(&ctx->prof, ProfDomain::kLockSpin);
+          ctx->cost.Charge(CodeStyle::kOptimized, grant.total - traffic);
+        }
+        if (traffic > 0) {
+          Prof::Scope drain(&ctx->prof, ProfDomain::kLockHandoff);
+          ctx->cost.Charge(CodeStyle::kOptimized, traffic);
+        }
         ctx->metrics.Inc(ins.id_write_spin_cycles, grant.total);
       }
       if (grant.revoked_cpus > 0) {
@@ -145,6 +172,9 @@ class SharedSection {
   KernelContext* ctx_;
   const ReadMostlyInstruments& ins_;
   Kind kind_;
+  // Spans the whole section (acquire, body, release), so everything charged
+  // inside lands under the manager's read/write domain.
+  Prof::Scope prof_scope_;
   SimSharedLock* lock_ = nullptr;  // null: un-modeled, fully inert
   bool nested_ = false;
   uint16_t cpu_ = 0;

@@ -1,6 +1,8 @@
 #include "src/kernel/uproc.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "src/common/hash.h"
 
@@ -44,7 +46,7 @@ void UserProcessManager::ConfigureDispatch(const DispatchConfig& config) {
   if (dcfg_.sharded_runqueues) {
     rq_ = std::make_unique<RunQueueSet>(ctx_->smp.count(), dcfg_.steal, dcfg_.connect_cost,
                                         &ctx_->cost, &ctx_->metrics, &ctx_->trace,
-                                        lock_policy);
+                                        lock_policy, &ctx_->prof);
   }
 }
 
@@ -266,10 +268,22 @@ void UserProcessManager::TouchReadyList(uint16_t cpu, Cycles lnow) {
   const Cycles spin = list_lock_.Acquire(lnow, cpu);
   Cycles held = spin;
   if (spin > 0) {
-    ctx_->cost.Charge(CodeStyle::kOptimized, spin);
+    // Attribution splits the wait into the gap to the holder's release
+    // (lock-spin) and the grant's coherence traffic (lock-handoff); the two
+    // optimized charges advance the clock exactly as the single one did.
+    const Cycles handoff = std::min(list_lock_.last_acquire_handoff(), spin);
+    if (spin > handoff) {
+      Prof::Scope wait(&ctx_->prof, ProfDomain::kLockSpin);
+      ctx_->cost.Charge(CodeStyle::kOptimized, spin - handoff);
+    }
+    if (handoff > 0) {
+      Prof::Scope grant(&ctx_->prof, ProfDomain::kLockHandoff);
+      ctx_->cost.Charge(CodeStyle::kOptimized, handoff);
+    }
     ctx_->metrics.Inc(id_list_lock_spin_cycles_, spin);
   }
   if (dcfg_.connect_cost > 0 && list_owner_ != cpu && list_owner_ != kNoCpu) {
+    Prof::Scope bounce(&ctx_->prof, ProfDomain::kLockHandoff);
     ctx_->cost.Charge(CodeStyle::kOptimized, dcfg_.connect_cost);
     held += dcfg_.connect_cost;
     ctx_->metrics.Inc(id_list_transfers_);
@@ -322,6 +336,11 @@ UserProcessManager::DispatchOutcome UserProcessManager::RunQuantumOn(Process& pr
     ctx_->metrics.Inc(id_proc_migration_cycles_, dcfg_.connect_cost);
   }
   proc.last_cpu = cpu;
+
+  // The quantum proper: state swap-in, the op loop, and the requeue tail.
+  // Deeper domains (gate, fault-service, naming sections) nest inside; the
+  // vp/process-switch charges above stay on the window's dispatch root.
+  Prof::Scope quantum_scope(&ctx_->prof, ProfDomain::kUprocQuantum);
 
   Status in = SwapStateIn(proc);
   if (in.code() == Code::kBlocked) {
@@ -394,6 +413,7 @@ bool UserProcessManager::DispatchGlobal() {
     ctx_->current_cpu = cpu;
     ctx_->trace.SetCpu(cpu);
     ctx_->AnchorWindow();
+    Prof::Window window(&ctx_->prof, cpu, ProfDomain::kDispatch);
     const Cycles dispatch_start = ctx_->clock.now();
     if (sched_costs_on()) {
       TouchReadyList(cpu, ctx_->smp.local_now(cpu));
@@ -404,6 +424,7 @@ bool UserProcessManager::DispatchGlobal() {
       break;  // pool exhausted this pass
     }
     did_work = true;
+    ++sched_progress_;
   }
   return did_work;
 }
@@ -433,6 +454,7 @@ bool UserProcessManager::DispatchSharded() {
       ctx_->current_cpu = cpu;
       ctx_->trace.SetCpu(cpu);
       ctx_->AnchorWindow();
+      Prof::Window window(&ctx_->prof, cpu, ProfDomain::kDispatch);
       const Cycles dispatch_start = ctx_->clock.now();
       const RunQueueSet::Popped pop = rq_->Dequeue(cpu, ctx_->smp.local_now(cpu));
       if (!pop.ok) {
@@ -461,6 +483,7 @@ bool UserProcessManager::DispatchSharded() {
       }
       did_work = true;
       ran = true;
+      ++sched_progress_;
       if (proc.state == ProcState::kReady) {
         // Quantum expired: requeue with this CPU as the locality hint.
         const Cycles t0 = ctx_->clock.now();
@@ -485,8 +508,9 @@ bool UserProcessManager::SchedulerPass() {
   ctx_->current_cpu = 0;
   ctx_->trace.SetCpu(0);
   ctx_->AnchorWindow();
+  Prof::Window level1_window(&ctx_->prof, 0, ProfDomain::kDispatch);
   const Cycles level1_start = ctx_->clock.now();
-  ctx_->events.RunDue(ctx_->clock.now());
+  sched_progress_ += ctx_->events.RunDue(ctx_->clock.now());
   if (vpm_->RunKernelTasks()) {
     did_work = true;
   }
@@ -506,6 +530,7 @@ bool UserProcessManager::SchedulerPass() {
         ctx_->trace.Instant(ev_wake_, it->second.pid.value, 1);
         EnqueueReady(it->second, 0, level1_lnow());
         did_work = true;
+        ++sched_progress_;
       }
     }
   }
@@ -517,6 +542,7 @@ bool UserProcessManager::SchedulerPass() {
       ctx_->trace.Instant(ev_wake_, proc.pid.value, 0);
       EnqueueReady(proc, 0, level1_lnow());
       did_work = true;
+      ++sched_progress_;
     }
   }
 
@@ -524,6 +550,7 @@ bool UserProcessManager::SchedulerPass() {
     ctx_->smp.Accrue(0, level1);
     ctx_->trace.CloseSpan(level1_start, ev_level1_, 0, 0);
   }
+  level1_window.Close();
 
   // Dispatch ready processes onto idle virtual processors and run quanta.
   if (rq_ != nullptr ? DispatchSharded() : DispatchGlobal()) {
@@ -538,6 +565,13 @@ Status UserProcessManager::RunUntilQuiescent(uint64_t max_passes) {
       return Status::Ok();
     }
     const bool did_work = SchedulerPass();
+    // Stall watchdog: a scheduler that keeps claiming work while no quantum
+    // runs, no completion lands, and no process wakes is livelocked (e.g. a
+    // kernel task reporting work it never does).  Dump the flight recorder
+    // instead of silently burning the pass budget.
+    if (ctx_->prof.NoteDispatchRound(sched_progress_)) {
+      DumpStallAndAbort(pass);
+    }
     if (!did_work) {
       if (!ctx_->events.empty()) {
         // Every process is blocked on the device: the machine idles forward.
@@ -553,8 +587,9 @@ Status UserProcessManager::RunUntilQuiescent(uint64_t max_passes) {
         ctx_->current_cpu = 0;
         ctx_->trace.SetCpu(0);
         ctx_->AnchorWindow();
+        Prof::Window window(&ctx_->prof, 0, ProfDomain::kDispatch);
         const Cycles completion_start = ctx_->clock.now();
-        ctx_->events.RunDue(ctx_->clock.now());
+        sched_progress_ += ctx_->events.RunDue(ctx_->clock.now());
         if (const Cycles d = ctx_->clock.now() - completion_start; d > 0) {
           ctx_->smp.Accrue(0, d);
         }
@@ -568,6 +603,72 @@ Status UserProcessManager::RunUntilQuiescent(uint64_t max_passes) {
   }
   return AllDone() ? Status::Ok()
                    : Status(Code::kResourceExhausted, "scheduler pass budget exhausted");
+}
+
+void UserProcessManager::DumpStallAndAbort(uint64_t pass) {
+  std::fprintf(stderr,
+               "==== STALL WATCHDOG: no scheduler progress for %llu rounds "
+               "(progress stamp %llu, virtual clock %llu, scheduler pass %llu) ====\n",
+               static_cast<unsigned long long>(ctx_->prof.stalled_rounds()),
+               static_cast<unsigned long long>(sched_progress_),
+               static_cast<unsigned long long>(ctx_->clock.now()),
+               static_cast<unsigned long long>(pass));
+
+  std::fprintf(stderr, "---- profiler domain trees ----\n");
+  ctx_->prof.DumpTree(stderr);
+
+  std::fprintf(stderr, "---- scheduler locks ----\n");
+  std::fprintf(stderr, "ready-list lock: %s, line owner cpu %d\n",
+               list_lock_.held() ? "HELD" : "free",
+               list_owner_ == kNoCpu ? -1 : static_cast<int>(list_owner_));
+  if (rq_ != nullptr) {
+    for (uint16_t k = 0; k < rq_->count(); ++k) {
+      const uint16_t owner = rq_->line_owner(k);
+      std::fprintf(stderr, "run queue %u: depth %zu, lock %s, line owner cpu %d\n",
+                   k, rq_->depth(k), rq_->shard_lock(k).held() ? "HELD" : "free",
+                   owner == UINT16_MAX ? -1 : static_cast<int>(owner));
+    }
+  }
+
+  std::fprintf(stderr, "---- processes ----\n");
+  static constexpr const char* kStateNames[] = {"ready", "running", "blocked",
+                                                "done", "aborted"};
+  for (const auto& [pid, proc] : procs_) {
+    std::fprintf(stderr,
+                 "pid %u: %s, pc %zu/%zu, last cpu %d, queued %d, "
+                 "dispatches %llu\n",
+                 pid.value, kStateNames[static_cast<size_t>(proc.state)],
+                 proc.pc, proc.program.size(),
+                 proc.last_cpu == kNoCpu ? -1 : static_cast<int>(proc.last_cpu),
+                 proc.queued ? 1 : 0,
+                 static_cast<unsigned long long>(proc.stats.dispatches));
+  }
+
+  std::fprintf(stderr, "---- tracer ring tails ----\n");
+  if (ctx_->trace.enabled()) {
+    constexpr size_t kTail = 12;
+    for (uint16_t cpu = 0; cpu < ctx_->trace.cpu_count(); ++cpu) {
+      const std::vector<TraceRecord> records = ctx_->trace.Snapshot(cpu);
+      std::fprintf(stderr, "cpu %u (%zu records, %llu dropped):\n", cpu,
+                   records.size(),
+                   static_cast<unsigned long long>(ctx_->trace.dropped(cpu)));
+      const size_t first = records.size() > kTail ? records.size() - kTail : 0;
+      for (size_t i = first; i < records.size(); ++i) {
+        const TraceRecord& r = records[i];
+        const std::string_view name = ctx_->trace.EventName(r.event);
+        std::fprintf(stderr, "  @%llu +%llu %.*s proc=%u\n",
+                     static_cast<unsigned long long>(r.ts),
+                     static_cast<unsigned long long>(r.dur),
+                     static_cast<int>(name.size()), name.data(), r.proc);
+      }
+    }
+  } else {
+    std::fprintf(stderr,
+                 "tracer disabled (set KernelConfig::trace.enabled for ring tails)\n");
+  }
+
+  std::fflush(stderr);
+  std::abort();
 }
 
 bool UserProcessManager::AllDone() const {

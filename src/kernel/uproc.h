@@ -166,6 +166,10 @@ class UserProcessManager {
   }
   // Accrues charges made outside a quantum window (queue ops) to `cpu`.
   void AccrueOutside(uint16_t cpu, Cycles since);
+  // The stall watchdog's flight-recorder dump: profiler domain trees, tracer
+  // ring tails, scheduler-lock owners, run-queue depths, and process states,
+  // to stderr; then abort().
+  [[noreturn]] void DumpStallAndAbort(uint64_t pass);
   void Park(Process& proc);
   void Finish(Process& proc, ProcState state, Status why);
   Status ExecOneOp(Process& proc);
@@ -203,6 +207,11 @@ class UserProcessManager {
   uint32_t next_pid_ = 1;
   uint32_t quantum_ = 16;
   uint64_t state_uid_counter_ = 0;
+  // Monotonic scheduler-progress stamp for the stall watchdog: quanta run,
+  // device completions, and wakeups.  Kernel tasks claiming work do NOT
+  // advance it — a task's progress must show up as one of those effects, so
+  // a task that reports work while doing none reads as a stall.
+  uint64_t sched_progress_ = 0;
 };
 
 }  // namespace mks

@@ -81,6 +81,9 @@ Result<VpId> VirtualProcessorManager::TakeUserVp(uint16_t i) {
   acquire_cursor_ = static_cast<uint16_t>((i + 1) % vps_.size());
   v.state = VpState::kRunning;
   StoreState(VpId(i));
+  // Vp switch and state-record migration are dispatch overhead, whatever the
+  // caller is doing; keep them off the quantum/fault domains.
+  Prof::Scope sw(&ctx_->prof, ProfDomain::kDispatch);
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kVpSwitch);
   // Loading a state record last resident in another CPU's cache pays one
   // interconnect transfer.  Free at connect cost 0 (the legacy model) and
@@ -168,7 +171,10 @@ bool VirtualProcessorManager::RunKernelTasks() {
     Vp& v = vps_[i];
     if (v.kernel_bound && v.state == VpState::kReady) {
       v.state = VpState::kRunning;
-      ctx_->cost.Charge(CodeStyle::kStructured, Costs::kVpSwitch);
+      {
+        Prof::Scope sw(&ctx_->prof, ProfDomain::kDispatch);
+        ctx_->cost.Charge(CodeStyle::kStructured, Costs::kVpSwitch);
+      }
       const Cycles task_begin = ctx_->trace.Begin();
       const bool did_work = v.task();
       ctx_->trace.CloseSpan(task_begin, ev_kernel_task_, i, did_work ? 1 : 0);
@@ -190,7 +196,10 @@ bool VirtualProcessorManager::RunKernelTask(std::string_view name) {
       continue;
     }
     v.state = VpState::kRunning;
-    ctx_->cost.Charge(CodeStyle::kStructured, Costs::kVpSwitch);
+    {
+      Prof::Scope sw(&ctx_->prof, ProfDomain::kDispatch);
+      ctx_->cost.Charge(CodeStyle::kStructured, Costs::kVpSwitch);
+    }
     const Cycles task_begin = ctx_->trace.Begin();
     const bool did_work = v.task();
     ctx_->trace.CloseSpan(task_begin, ev_kernel_task_, i, did_work ? 1 : 0);

@@ -37,6 +37,7 @@
 
 #include "src/sim/clock.h"
 #include "src/sim/metrics.h"
+#include "src/sim/prof.h"
 #include "src/sim/trace.h"
 #include "src/sync/spinlock.h"
 
@@ -60,6 +61,11 @@ class CpuInterleave {
   }
 
   uint16_t count() const { return static_cast<uint16_t>(cpus_.size()); }
+
+  // Attaches the cycle-accounting profiler.  Local clocks move only through
+  // Accrue/AdvanceAll/AlignAll, so hooking these three keeps the profiler's
+  // accrued side exactly equal to each CPU's local clock advance.
+  void set_prof(Prof* prof) { prof_ = prof; }
 
   // The CPU whose local clock is furthest behind runs the next quantum
   // (ties: lowest index).  O(1): the tournament root.
@@ -99,18 +105,30 @@ class CpuInterleave {
     RepairFromLeaf(cpu);
     metrics_->Inc(c.id_busy_cycles, delta);
     metrics_->Inc(c.id_quanta);
+    if (prof_ != nullptr) {
+      prof_->NoteAccrue(cpu, delta);
+    }
   }
 
   // Idles the whole pool forward together (every process blocked on a device
   // completion: wall time passes on all CPUs, busy time on none).  A uniform
   // shift preserves the pool order, so only the shared base moves.
-  void AdvanceAll(Cycles delta) { base_ += delta; }
+  void AdvanceAll(Cycles delta) {
+    base_ += delta;
+    if (prof_ != nullptr) {
+      prof_->NoteAdvanceAll(delta);
+    }
+  }
 
   // Aligns every local clock to the furthest-ahead one: a synchronization
   // barrier (e.g. the start of a measured region — earlier CPUs idle until
   // the last one arrives).  Busy-cycle metrics are not affected.
   void AlignAll() {
-    for (PerCpu& c : cpus_) {
+    for (uint16_t k = 0; k < count(); ++k) {
+      PerCpu& c = cpus_[k];
+      if (prof_ != nullptr && max_local_ > c.local) {
+        prof_->NoteAlign(k, max_local_ - c.local);
+      }
       c.local = max_local_;
     }
     RebuildTree();
@@ -163,6 +181,7 @@ class CpuInterleave {
 
   std::vector<PerCpu> cpus_;
   Metrics* metrics_;
+  Prof* prof_ = nullptr;
   Cycles base_ = 0;       // shared idle offset added to every local clock
   Cycles max_local_ = 0;  // running maximum of the stored locals
   size_t leaf_base_ = 1;  // leaves live at tree_[leaf_base_ + k]
@@ -198,8 +217,10 @@ class RunQueueSet {
 
   RunQueueSet(uint16_t cpu_count, bool steal, Cycles connect_cost, CostModel* cost,
               Metrics* metrics, Tracer* trace,
-              const LockPolicyConfig& lock_policy = LockPolicyConfig{})
+              const LockPolicyConfig& lock_policy = LockPolicyConfig{},
+              Prof* prof = nullptr)
       : steal_(steal),
+        prof_(prof),
         connect_cost_(connect_cost),
         cost_(cost),
         metrics_(metrics),
@@ -261,6 +282,8 @@ class RunQueueSet {
   uint16_t count() const { return static_cast<uint16_t>(shards_.size()); }
   bool steal_enabled() const { return steal_; }
   size_t depth(uint16_t cpu) const { return shards_[cpu].items.size(); }
+  uint16_t line_owner(uint16_t cpu) const { return shards_[cpu].line_owner; }
+  const SimSpinLock& shard_lock(uint16_t cpu) const { return shards_[cpu].lock; }
 
   bool AnyQueued() const {
     for (const Shard& s : shards_) {
@@ -331,6 +354,7 @@ class RunQueueSet {
     if (!steal_) {
       return out;
     }
+    Prof::Scope steal_scope(prof_, ProfDomain::kSteal);
     for (uint16_t d = 1; d < count(); ++d) {
       const uint16_t v = static_cast<uint16_t>((cpu + d) % count());
       Shard& victim = shards_[v];
@@ -416,13 +440,25 @@ class RunQueueSet {
     const Cycles spin = s.lock.Acquire(lnow, from_cpu);
     Cycles held = spin;
     if (spin > 0) {
-      cost_->Charge(CodeStyle::kOptimized, spin);
+      // For attribution the wait splits into the gap to the holder's release
+      // (lock-spin) and the grant's coherence traffic (lock-handoff); the two
+      // optimized charges advance the clock exactly as the single one did.
+      const Cycles handoff = std::min(s.lock.last_acquire_handoff(), spin);
+      if (spin > handoff) {
+        Prof::Scope wait(prof_, ProfDomain::kLockSpin);
+        cost_->Charge(CodeStyle::kOptimized, spin - handoff);
+      }
+      if (handoff > 0) {
+        Prof::Scope grant(prof_, ProfDomain::kLockHandoff);
+        cost_->Charge(CodeStyle::kOptimized, handoff);
+      }
       metrics_->Inc(id_lock_spins_);
       metrics_->Inc(id_lock_spin_cycles_, spin);
       metrics_->Inc(s.id_lock_spin_cycles, spin);
       trace_->CloseSpan(spin_begin, ev_lock_spin_, from_cpu);
     }
     if (connect_cost_ > 0 && s.line_owner != from_cpu && s.line_owner != kNoCpu) {
+      Prof::Scope bounce(prof_, ProfDomain::kLockHandoff);
       cost_->Charge(CodeStyle::kOptimized, connect_cost_);
       held += connect_cost_;
       metrics_->Inc(id_transfers_);
@@ -433,6 +469,7 @@ class RunQueueSet {
   }
 
   bool steal_;
+  Prof* prof_;
   Cycles connect_cost_;
   CostModel* cost_;
   Metrics* metrics_;

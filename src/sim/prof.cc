@@ -1,0 +1,125 @@
+#include "src/sim/prof.h"
+
+#include <algorithm>
+#include <string>
+
+namespace mks {
+
+std::array<Cycles, kProfDomainCount> Prof::DomainTotals() const {
+  std::array<Cycles, kProfDomainCount> totals{};
+  for (const Lane& lane : lanes_) {
+    for (const Node& node : lane.nodes) {
+      if (node.parent == kNoNode) {
+        continue;  // synthetic root
+      }
+      totals[static_cast<size_t>(node.domain)] += node.self;
+    }
+  }
+  return totals;
+}
+
+namespace {
+
+// Depth-first walk emitting one collapsed-stack line per node with self
+// time.  The stack prefix is rebuilt on the way down; sibling order is
+// first-seen (deterministic), so two identical runs export identical text.
+void FoldNode(const std::vector<std::string>& prefix, std::string* out) {
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (i != 0) {
+      out->push_back(';');
+    }
+    out->append(prefix[i]);
+  }
+}
+
+}  // namespace
+
+std::string Prof::CollapsedStacks() const {
+  std::string out;
+  std::vector<std::string> prefix;
+  for (uint16_t cpu = 0; cpu < lanes_.size(); ++cpu) {
+    const Lane& lane = lanes_[cpu];
+    prefix.clear();
+    prefix.push_back("cpu" + std::to_string(cpu));
+    // Iterative DFS over (node, depth); children pushed in reverse sibling
+    // order so they pop first-seen-first.
+    std::vector<std::pair<uint32_t, size_t>> work;
+    std::vector<uint32_t> kids;
+    for (uint32_t n = lane.nodes[0].first_child; n != kNoNode;
+         n = lane.nodes[n].next_sibling) {
+      kids.push_back(n);
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      work.emplace_back(*it, 1);
+    }
+    while (!work.empty()) {
+      const auto [idx, depth] = work.back();
+      work.pop_back();
+      prefix.resize(depth);
+      prefix.push_back(ProfDomainName(lane.nodes[idx].domain));
+      if (lane.nodes[idx].self > 0) {
+        FoldNode(prefix, &out);
+        out.push_back(' ');
+        out.append(std::to_string(lane.nodes[idx].self));
+        out.push_back('\n');
+      }
+      kids.clear();
+      for (uint32_t n = lane.nodes[idx].first_child; n != kNoNode;
+           n = lane.nodes[n].next_sibling) {
+        kids.push_back(n);
+      }
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        work.emplace_back(*it, depth + 1);
+      }
+    }
+  }
+  return out;
+}
+
+void Prof::DumpTree(FILE* out) const {
+  if (!enabled_) {
+    std::fprintf(out,
+                 "  profiler disabled (set KernelConfig::profile.enabled "
+                 "for domain trees)\n");
+    return;
+  }
+  for (uint16_t cpu = 0; cpu < lanes_.size(); ++cpu) {
+    const Lane& lane = lanes_[cpu];
+    std::fprintf(out, "  cpu %u: attributed %llu / accrued %llu cycles\n", cpu,
+                 static_cast<unsigned long long>(lane.attributed),
+                 static_cast<unsigned long long>(lane.accrued));
+    // Recursive print via explicit stack, preserving first-seen order.
+    std::vector<std::pair<uint32_t, int>> work;
+    std::vector<uint32_t> kids;
+    for (uint32_t n = lane.nodes[0].first_child; n != kNoNode;
+         n = lane.nodes[n].next_sibling) {
+      kids.push_back(n);
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      work.emplace_back(*it, 1);
+    }
+    while (!work.empty()) {
+      const auto [idx, depth] = work.back();
+      work.pop_back();
+      const Node& node = lane.nodes[idx];
+      const double share =
+          lane.attributed > 0
+              ? 100.0 * static_cast<double>(node.self) /
+                    static_cast<double>(lane.attributed)
+              : 0.0;
+      std::fprintf(out, "  %*s%-16s %12llu  (%5.1f%% self)\n", depth * 2, "",
+                   ProfDomainName(node.domain),
+                   static_cast<unsigned long long>(node.self), share);
+      kids.clear();
+      for (uint32_t n = node.first_child; n != kNoNode;
+           n = lane.nodes[n].next_sibling) {
+        kids.push_back(n);
+      }
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        work.emplace_back(*it, depth + 1);
+      }
+    }
+  }
+}
+
+}  // namespace mks

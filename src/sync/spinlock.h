@@ -122,6 +122,7 @@ class SimSpinLock {
   // resident and no handoff happened).
   Cycles Acquire(Cycles local_now, uint16_t cpu = 0) {
     ++acquisitions_;
+    last_acquire_handoff_ = 0;
     if (policy_ == LockPolicy::kAnderson) {
       NoteAndersonCpu(cpu);
     }
@@ -132,6 +133,7 @@ class SimSpinLock {
       if (ticket_) {
         spin += handoff_cost_;
         handoff_cycles_ += handoff_cost_;
+        last_acquire_handoff_ = handoff_cost_;
         ++handoffs_;
       } else if (policy_ != LockPolicy::kTestAndSet) {
         // Handoffs this waiter sat through: recorded releases inside its
@@ -154,6 +156,7 @@ class SimSpinLock {
         }
         spin += transfer;
         handoff_cycles_ += transfer;
+        last_acquire_handoff_ = transfer;
       }
       total_spin_ += spin;
       if (spin > max_spin_) {
@@ -191,6 +194,10 @@ class SimSpinLock {
   Cycles max_spin() const { return max_spin_; }
   uint64_t handoffs() const { return handoffs_; }
   Cycles handoff_cycles() const { return handoff_cycles_; }
+  // Handoff-traffic portion of the most recent Acquire's return value, so
+  // callers can attribute waiting (the gap) and coherence traffic (the
+  // handoff) to different profiler domains without changing the total.
+  Cycles last_acquire_handoff() const { return last_acquire_handoff_; }
   // Deepest observed wait queue (holder + waiters serviced inside one wait
   // window).  Can exceed the CPU count: a far-behind waiter's window spans
   // re-acquisitions by CPUs that cycled through more than once.
@@ -238,6 +245,7 @@ class SimSpinLock {
   Cycles max_spin_ = 0;
   uint64_t handoffs_ = 0;
   Cycles handoff_cycles_ = 0;
+  Cycles last_acquire_handoff_ = 0;
   uint64_t max_queue_depth_ = 0;
   std::deque<Cycles> grants_;
 };
