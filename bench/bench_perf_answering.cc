@@ -4,6 +4,8 @@
 // version pays gate crossings and the structured-code factor on its
 // bookkeeping, the in-kernel version runs as trusted optimized code.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/answering/service.h"
@@ -51,10 +53,22 @@ Cycles RunLoginStorm(ServiceDomain domain, int users, int sessions_per_user) {
 }  // namespace
 }  // namespace mks
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mks;
-  constexpr int kUsers = 16;
-  constexpr int kSessions = 8;
+  int kUsers = 16;
+  int kSessions = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--users" && i + 1 < argc) {
+      kUsers = std::atoi(argv[++i]);
+    } else if (arg == "--sessions" && i + 1 < argc) {
+      kSessions = std::atoi(argv[++i]);
+    }
+  }
+  if (kUsers <= 0 || kSessions <= 0) {
+    std::fprintf(stderr, "usage: %s [--users N] [--sessions N]\n", argv[0]);
+    return 1;
+  }
   std::printf("=== P3: Answering service, in-kernel vs user-domain ===\n\n");
   const Cycles in_kernel = RunLoginStorm(ServiceDomain::kInKernel, kUsers, kSessions);
   const Cycles user_domain = RunLoginStorm(ServiceDomain::kUserDomain, kUsers, kSessions);
@@ -71,6 +85,7 @@ int main() {
   EmitJson(JsonLine("answering")
                .Field("users", uint64_t{kUsers})
                .Field("sessions", uint64_t{kSessions})
+               .Field("sim_cycles", in_kernel + user_domain)
                .Field("cyc_per_session_kernel", per_login_kernel)
                .Field("cyc_per_session_user", per_login_user)
                .Field("slowdown_pct", slowdown)

@@ -7,21 +7,61 @@
 // the performance comparison: the user-domain version performs its work
 // through kernel gates and structured code, which is where the measured
 // "about 3% slower" comes from.
+//
+// The login-storm refactor makes session establishment a parallel hot path.
+// Three independently-gated mechanisms, all default-off and byte-identical
+// to the serial service when off:
+//
+//   * session-table modes — kSerial is the seed table (no lock, single
+//     logical thread of control); kCoarse is the minimal concurrency-safe
+//     form, ONE SimSpinLock held across the whole login/logout transaction
+//     (every session serializes behind it, the baseline every sharded
+//     design is measured against); kSharded hashes sessions and accounting
+//     totals across lock-per-shard tables, holding each lock only for the
+//     table operation itself.
+//   * skeleton cache — per-project home-directory skeletons (>udd>Project
+//     and >udd>Project>person) are remembered behind a read-mostly
+//     SimSharedLock, so repeat logins skip the directory-creation walk.
+//   * slab process slots — a kernel-side knob (KernelConfig::slab_processes)
+//     the storm bench pairs with these; not owned here.
 #ifndef MKS_ANSWERING_SERVICE_H_
 #define MKS_ANSWERING_SERVICE_H_
 
 #include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/answering/auth.h"
 #include "src/fs/path_walker.h"
+#include "src/kernel/shared_section.h"
 
 namespace mks {
 
 enum class ServiceDomain : uint8_t {
   kInKernel,    // the 1973 configuration: trusted, ring-0, optimized code
   kUserDomain,  // the redesign: unprivileged, gate calls, structured code
+};
+
+// How the session and accounting tables are guarded against concurrent
+// logins (see the file comment).
+enum class SessionTableMode : uint8_t { kSerial, kCoarse, kSharded };
+
+struct AnsweringConfig {
+  SessionTableMode table_mode = SessionTableMode::kSerial;
+  // kSharded: number of table shards; 0 = the kernel's cpu_count.
+  uint16_t shards = 0;
+  // Handoff-traffic policy for the table locks, same pricing scheme as the
+  // scheduler locks (contended handoffs in units of line transfers).
+  LockPolicy table_lock_policy = LockPolicy::kTestAndSet;
+  Cycles table_line_transfer_cost = 0;
+  uint16_t table_anderson_slots = 0;  // kAnderson array size; 0 = cpu_count
+  // Remember home-directory skeletons across logins.
+  bool skeleton_cache = false;
+  // Read-mostly policy for the skeleton cache's lock; the default
+  // (ReadPolicy::kOff) leaves its sections inert.
+  SharedLockConfig cache_lock;
 };
 
 struct SessionBill {
@@ -33,7 +73,8 @@ struct SessionBill {
 class AnsweringService {
  public:
   AnsweringService(Kernel* kernel, Authenticator* auth,
-                   ServiceDomain domain = ServiceDomain::kUserDomain);
+                   ServiceDomain domain = ServiceDomain::kUserDomain,
+                   const AnsweringConfig& config = AnsweringConfig{});
 
   // Authenticates, creates the user process, and ensures the home directory
   // (>udd>Project>person) exists.
@@ -44,8 +85,13 @@ class AnsweringService {
   // Aggregate accounting report: one line per principal.
   std::string AccountingReport() const;
 
-  size_t active_sessions() const { return sessions_.size(); }
+  size_t active_sessions() const { return active_; }
   ServiceDomain domain() const { return domain_; }
+
+  // Instrument readback for benches and tests.
+  size_t shard_count() const { return shards_.size(); }
+  const SimSpinLock& shard_lock(size_t i) const { return shards_[i]->lock; }
+  const SimSharedLock& skeleton_lock() const { return skel_lock_; }
 
  private:
   struct Session {
@@ -55,23 +101,78 @@ class AnsweringService {
     EntryId home{};
   };
 
+  // One table shard: its lock, the sessions hashed to it (by pid), and the
+  // accounting totals hashed to it (by principal).  kSerial/kCoarse run with
+  // exactly one shard, which keeps AccountingReport's merge an identity.
+  struct Shard {
+    SimSpinLock lock;
+    std::map<ProcessId, Session> sessions;
+    std::map<std::string, SessionBill> totals;
+  };
+
+  // One virtual-time lock tenure over a shard's lock: acquired at the
+  // executing CPU's local time (spin charged and attributed, TouchReadyList
+  // style), released at acquire + spin + the work charged while held.
+  // kSerial mode never locks and never charges.
+  struct LockWindow {
+    Cycles lnow = 0;
+    Cycles spin = 0;
+    bool locked = false;
+  };
+  LockWindow LockTable(SimSpinLock& lock);
+  void UnlockTable(SimSpinLock& lock, const LockWindow& window, Cycles held);
+
+  Shard& ShardForPid(ProcessId pid);
+  Shard& ShardForWho(const std::string& who);
+
+  // The transaction bodies; Login/Logout wrap them in the coarse-mode lock
+  // tenure and the login-latency trace span.
+  Result<ProcessId> LoginInner(const Principal& who, const std::string& password, Label label);
+  Status LogoutInner(ProcessId pid);
+  // The modelled cost of one session-table operation (only charged in the
+  // concurrency-safe modes; kSerial stays byte-identical to the seed).
+  void ChargeTableWork() const;
+
   // Charges the bookkeeping work of one dialog step in the configured domain.
   void ChargeDialogStep(int gate_calls) const;
   // The service's own (system-low) context; home-directory skeletons are
   // built by the service, not by the (possibly high-labelled) session, which
   // the *-property would forbid from writing into low directories.
   Status EnsureDaemon();
+  // The home-directory walk, with the skeleton cache in front of it when
+  // enabled: a remembered home skips the walk entirely; a remembered project
+  // directory skips the >udd>Project portion.
+  Result<EntryId> EnsureHome(const Principal& who, const Acl& home_acl, Label session_label);
 
   Kernel* kernel_;
   Authenticator* auth_;
   MetricId id_logins_;
   MetricId id_logouts_;
+  MetricId id_table_spin_cycles_;
+  MetricId id_skel_hits_;
+  MetricId id_skel_misses_;
+  // Per-phase cycle accounting (always on; counters only, never charges).
+  MetricId id_phase_auth_;
+  MetricId id_phase_process_;
+  MetricId id_phase_homedir_;
+  MetricId id_phase_accounting_;
+  TraceEventId ev_login_;
+  TraceEventId ev_logout_;
+  HistId hist_login_;
+  HistId hist_logout_;
   ServiceDomain domain_;
+  AnsweringConfig cfg_;
   PathWalker walker_;
   bool daemon_ready_ = false;
   ProcContext daemon_ctx_;
-  std::map<ProcessId, Session> sessions_;
-  std::map<std::string, SessionBill> totals_;  // by principal
+  std::vector<std::unique_ptr<Shard>> shards_;
+  size_t active_ = 0;
+  // The skeleton cache: project path -> directory, and project>person ->
+  // home, behind one read-mostly lock.
+  mutable SimSharedLock skel_lock_;
+  ReadMostlyInstruments skel_rmi_;
+  std::unordered_map<std::string, EntryId> skel_projects_;
+  std::unordered_map<std::string, EntryId> skel_homes_;
 };
 
 }  // namespace mks

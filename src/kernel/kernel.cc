@@ -34,6 +34,7 @@ Kernel::Kernel(const KernelConfig& config)
                                                 gates_.get());
   uproc_->ConfigureDispatch({config.sharded_runqueues, config.steal, config.connect_cost,
                              config.lock_policy, config.anderson_slots});
+  uproc_->set_slab_processes(config.slab_processes);
   // The read-mostly naming locks: one per manager, same policy and pricing.
   // Cross-CPU traffic (token revocation, epoch publish) is priced at
   // connect_cost, the interconnect's line-transfer figure everywhere else.
@@ -108,6 +109,9 @@ Status Kernel::Shutdown() {
       return Status(Code::kInternal, "process table would not drain");
     }
   }
+  // Slab-parked slots still own KSTs, state segments, and VTOC entries;
+  // tear them down for real so the on-disk image leaks nothing.
+  MKS_RETURN_IF_ERROR(uproc_->DrainSlabs());
   for (uint32_t slot = 0; slot < segs_->ast_slots(); ++slot) {
     if (segs_->Get(slot) != nullptr) {
       MKS_RETURN_IF_ERROR(segs_->Deactivate(slot));

@@ -83,6 +83,12 @@ struct KernelConfig {
   // kEpoch only: cycles a writer spends on quiescence detection after its
   // publish, on top of draining the read sections in flight.
   Cycles epoch_grace_cost = 0;
+  // Slab pooling of process slots: DestroyProcess parks the slot (pid, KST
+  // allocation, state segment) on a free list and CreateProcess reuses it,
+  // skipping the rebuild-from-scratch chain.  Off (default) is
+  // byte-identical to tearing every process down; Shutdown drains parked
+  // slots either way, so the on-disk image leaks nothing.
+  bool slab_processes = false;
   uint64_t root_quota = 1u << 20;
   Label root_label = Label::SystemLow();
   // Default: world-usable root, so examples/tests can build a hierarchy.

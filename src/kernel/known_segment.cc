@@ -12,7 +12,8 @@ KnownSegmentManager::KnownSegmentManager(KernelContext* ctx, SegmentManager* seg
       id_terminates_(ctx->metrics.Intern("ksm.terminates")),
       id_segment_faults_(ctx->metrics.Intern("ksm.segment_faults")),
       id_quota_exceptions_(ctx->metrics.Intern("ksm.quota_exceptions")),
-      id_full_pack_moves_(ctx->metrics.Intern("ksm.full_pack_moves")) {
+      id_full_pack_moves_(ctx->metrics.Intern("ksm.full_pack_moves")),
+      id_kst_resets_(ctx->metrics.Intern("ksm.kst_resets")) {
   // The KST rides the directory domains: it is the per-process face of the
   // naming surface, and the profiler wants "naming, read side" as one number.
   rmi_.Init(ctx, "ksm", ProfDomain::kDirectoryRead, ProfDomain::kDirectoryWrite);
@@ -42,6 +43,50 @@ Status KnownSegmentManager::DestroyKst(ProcessId pid) {
   }
   MKS_RETURN_IF_ERROR(spaces_->DestroySpace(pid));
   ksts_.erase(it);
+  return Status::Ok();
+}
+
+Status KnownSegmentManager::ResetKst(ProcessId pid, Segno keep) {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  ctx_->cost.Charge(CodeStyle::kStructured, Costs::kProcedureCall * 2);
+  // Check-then-clear: scan under a read section first, and only pay the
+  // write side when a binding actually needs clearing.  A process that
+  // initiated nothing beyond its state record — the common slab-reuse case —
+  // resets without excluding the naming surface's readers.
+  bool dirty = false;
+  {
+    SharedSection section(&rml_, ctx_, SharedSection::Kind::kRead, rmi_);
+    auto it = ksts_.find(pid);
+    if (it == ksts_.end()) {
+      return Status(Code::kNotFound, "no KST");
+    }
+    for (uint16_t i = 0; i < it->second.entries.size(); ++i) {
+      const uint16_t segno = static_cast<uint16_t>(kSystemSegnoLimit + i);
+      if (it->second.entries[i].valid && segno != keep.value) {
+        dirty = true;
+        break;
+      }
+    }
+  }
+  ctx_->metrics.Inc(id_kst_resets_);
+  if (!dirty) {
+    return Status::Ok();
+  }
+  SharedSection section(&rml_, ctx_, SharedSection::Kind::kWrite, rmi_);
+  auto it = ksts_.find(pid);
+  DescriptorSegment* ds = spaces_->Space(pid);
+  Kst& kst = it->second;
+  for (uint16_t i = 0; i < kst.entries.size(); ++i) {
+    const Segno segno(static_cast<uint16_t>(kSystemSegnoLimit + i));
+    if (!kst.entries[i].valid || segno.value == keep.value) {
+      continue;
+    }
+    if (ds != nullptr && ds->sdws[i].present) {
+      MKS_RETURN_IF_ERROR(spaces_->Disconnect(pid, segno));
+    }
+    kst.entries[i] = KstEntry{};
+    ctx_->metrics.Inc(id_terminates_);
+  }
   return Status::Ok();
 }
 

@@ -72,6 +72,12 @@ class KnownSegmentManager {
   Status CreateKst(ProcessId pid);
   Status DestroyKst(ProcessId pid);
 
+  // Clears every binding except `keep` (the process-state segment), leaving
+  // the KST itself allocated — the slab-pooling fast path for process-slot
+  // reuse.  One write section; present SDWs are disconnected first so the
+  // recycled slot cannot reference the prior occupant's segments.
+  Status ResetKst(ProcessId pid, Segno keep);
+
   // Assigns the lowest free user segment number and records the binding.
   // Connection to the address space is lazy (via the segment fault path).
   Result<Segno> Initiate(ProcessId pid, const SegmentHome& home, AccessModes modes,
@@ -124,6 +130,7 @@ class KnownSegmentManager {
   MetricId id_segment_faults_;
   MetricId id_quota_exceptions_;
   MetricId id_full_pack_moves_;
+  MetricId id_kst_resets_;
   uint16_t kst_size_ = 0;
   std::unordered_map<ProcessId, Kst> ksts_;
 };

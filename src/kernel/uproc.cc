@@ -27,6 +27,8 @@ UserProcessManager::UserProcessManager(KernelContext* ctx, CoreSegmentManager* c
       id_list_lock_spin_cycles_(ctx->metrics.Intern("sched.list_lock_spin_cycles")),
       id_proc_migrations_(ctx->metrics.Intern("sched.proc_migrations")),
       id_proc_migration_cycles_(ctx->metrics.Intern("sched.proc_migration_cycles")),
+      id_slab_reuses_(ctx->metrics.Intern("uproc.slab_reuses")),
+      id_slab_parks_(ctx->metrics.Intern("uproc.slab_parks")),
       ev_quantum_(ctx->trace.InternEvent("uproc.quantum")),
       ev_level1_(ctx->trace.InternEvent("uproc.level1")),
       ev_park_(ctx->trace.InternEvent("uproc.park")),
@@ -63,6 +65,23 @@ Status UserProcessManager::Init() {
 
 Result<ProcessId> UserProcessManager::CreateProcess(const Subject& subject) {
   CallTracker::Scope scope(&ctx_->tracker, self_);
+  if (slab_ && !free_slots_.empty()) {
+    // Slab fast path: the parked slot already owns a KST and a state
+    // segment; only the slot bookkeeping is rebuilt — one call's worth of
+    // work instead of the full KST/VTOC/initiate chain.
+    const FreeSlot slot = free_slots_.back();
+    free_slots_.pop_back();
+    ctx_->cost.Charge(CodeStyle::kStructured, Costs::kProcedureCall);
+    Process proc;
+    proc.pid = slot.pid;
+    proc.ctx.pid = slot.pid;
+    proc.ctx.subject = subject;
+    proc.state_segno = slot.state_segno;
+    procs_.emplace(slot.pid, std::move(proc));
+    ctx_->metrics.Inc(id_processes_created_);
+    ctx_->metrics.Inc(id_slab_reuses_);
+    return slot.pid;
+  }
   ctx_->cost.Charge(CodeStyle::kStructured, Costs::kProcedureCall * 4);
   const ProcessId pid(next_pid_++);
   MKS_RETURN_IF_ERROR(ksm_->CreateKst(pid));
@@ -102,9 +121,26 @@ Status UserProcessManager::DestroyProcess(ProcessId pid) {
   if (it->second.queued && rq_ != nullptr) {
     rq_->Remove(pid.value);
   }
+  if (slab_) {
+    // Slab park: clear every binding except the state segment's, keep the
+    // KST allocation and the state segment's storage, and stash the slot
+    // for the next CreateProcess.
+    const Segno state_segno = it->second.state_segno;
+    MKS_RETURN_IF_ERROR(ksm_->ResetKst(pid, state_segno));
+    procs_.erase(it);
+    free_slots_.push_back(FreeSlot{pid, state_segno});
+    ctx_->metrics.Inc(id_slab_parks_);
+    return Status::Ok();
+  }
+  const Segno state_segno = it->second.state_segno;
+  procs_.erase(it);
+  return ReleaseSlot(pid, state_segno);
+}
+
+Status UserProcessManager::ReleaseSlot(ProcessId pid, Segno state_segno) {
   // Free the state segment's storage: sever its uses, deactivate, and
   // release the VTOC entry.
-  const KstEntry* entry = ksm_->Lookup(pid, it->second.state_segno);
+  const KstEntry* entry = ksm_->Lookup(pid, state_segno);
   if (entry != nullptr) {
     const SegmentHome home = entry->home;
     MKS_RETURN_IF_ERROR(ksm_->DestroyKst(pid));
@@ -116,7 +152,16 @@ Status UserProcessManager::DestroyProcess(ProcessId pid) {
   } else {
     MKS_RETURN_IF_ERROR(ksm_->DestroyKst(pid));
   }
-  procs_.erase(it);
+  return Status::Ok();
+}
+
+Status UserProcessManager::DrainSlabs() {
+  CallTracker::Scope scope(&ctx_->tracker, self_);
+  while (!free_slots_.empty()) {
+    const FreeSlot slot = free_slots_.back();
+    free_slots_.pop_back();
+    MKS_RETURN_IF_ERROR(ReleaseSlot(slot.pid, slot.state_segno));
+  }
   return Status::Ok();
 }
 

@@ -91,6 +91,17 @@ class UserProcessManager {
   Result<ProcessId> CreateProcess(const Subject& subject);
   Status DestroyProcess(ProcessId pid);
 
+  // Slab pooling of process slots (the login-storm fast path).  With the
+  // knob on, DestroyProcess parks the slot — pid, KST allocation, and state
+  // segment — on a free list instead of tearing it down, and CreateProcess
+  // pops a parked slot instead of rebuilding from scratch.  Off (default)
+  // is byte-identical to the build/tear-down-every-time path.
+  void set_slab_processes(bool on) { slab_ = on; }
+  size_t slab_free() const { return free_slots_.size(); }
+  // Full teardown of every parked slot (KST, state segment, VTOC entry);
+  // called at kernel shutdown so the on-disk image leaks nothing.
+  Status DrainSlabs();
+
   Status SetProgram(ProcessId pid, std::vector<UserOp> program);
   // Restricts `pid` to the CPUs whose bits are set (bit k = CPU k); 0 — the
   // default — allows any CPU.  The mask must intersect the pool.  Takes
@@ -139,6 +150,13 @@ class UserProcessManager {
 
   enum class DispatchOutcome : uint8_t { kRan, kNoVp };
 
+  // A parked process slot awaiting reuse: the pid keeps its KST and its
+  // state segment's storage; everything else was reset at park time.
+  struct FreeSlot {
+    ProcessId pid{};
+    Segno state_segno{};
+  };
+
   // One scheduler pass: kernel tasks, message drain, dispatch, execution.
   bool SchedulerPass();
   // The two dispatch bodies SchedulerPass selects between: the legacy scan
@@ -177,6 +195,10 @@ class UserProcessManager {
   // the honest "states live in virtual memory" dependency.
   Status SwapStateIn(Process& proc);
   void SwapStateOut(Process& proc);
+  // Full teardown of a slot's kernel state: KST destroy, state-segment
+  // deactivation, VTOC release.  Shared by DestroyProcess (slab off) and
+  // DrainSlabs.
+  Status ReleaseSlot(ProcessId pid, Segno state_segno);
 
   KernelContext* ctx_;
   ModuleId self_;
@@ -193,6 +215,8 @@ class UserProcessManager {
   MetricId id_list_lock_spin_cycles_;
   MetricId id_proc_migrations_;
   MetricId id_proc_migration_cycles_;
+  MetricId id_slab_reuses_;
+  MetricId id_slab_parks_;
   TraceEventId ev_quantum_;
   TraceEventId ev_level1_;
   TraceEventId ev_park_;
@@ -204,6 +228,8 @@ class UserProcessManager {
   std::unique_ptr<RunQueueSet> rq_;
   SimSpinLock list_lock_;        // the modelled global ready-list lock
   uint16_t list_owner_ = kNoCpu; // CPU that last touched the list's line
+  bool slab_ = false;
+  std::vector<FreeSlot> free_slots_;
   uint32_t next_pid_ = 1;
   uint32_t quantum_ = 16;
   uint64_t state_uid_counter_ = 0;

@@ -68,16 +68,17 @@ enum class ProfDomain : uint8_t {
   kLockSpin,        // waiting for a holder to release (the gap)
   kLockHandoff,     // coherence traffic of a contended grant
   kSteal,           // cross-CPU work-stealing scans and migrations
+  kSessionSetup,    // answering-service login/logout transactions
   kIdle,            // local clock advanced with no work on this CPU
 };
 
-inline constexpr size_t kProfDomainCount = 11;
+inline constexpr size_t kProfDomainCount = 12;
 
 inline const char* ProfDomainName(ProfDomain d) {
   static constexpr const char* kNames[kProfDomainCount] = {
       "dispatch",    "uproc-quantum",   "fault-service", "paging-io",
       "directory-read", "directory-write", "gate",       "lock-spin",
-      "lock-handoff", "steal",          "idle",
+      "lock-handoff", "steal",          "session-setup", "idle",
   };
   return kNames[static_cast<size_t>(d)];
 }
